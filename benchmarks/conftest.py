@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table (or ablation) of the paper.  The
+experiments run against the simulated LLM, so absolute numbers differ from the
+paper's; every benchmark prints its rows next to the paper's values and
+asserts the *shape* (who wins, roughly by how much, where the cost multiplier
+lands) rather than the exact numbers.  ``pytest benchmarks/ --benchmark-only``
+runs everything.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print an aligned text table to stdout (visible with pytest -s or on failure)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rendered)) if rendered else len(headers[column])
+        for column in range(len(headers))
+    ]
+    line = " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    print(f"\n=== {title} ===")
+    print(line)
+    print(separator)
+    for row in rendered:
+        print(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))

@@ -1,0 +1,86 @@
+"""Ablation B — quality control by multi-LLM voting and Dawid–Skene (Section 3.5).
+
+A single cheap model mislabels a noticeable fraction of predicate checks.
+Majority voting across three models, and Dawid–Skene aggregation (which also
+estimates each model's accuracy without labels), should recover most of that
+accuracy at three times the single-model cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.data.words import random_words
+from repro.exceptions import ResponseParseError
+from repro.llm.oracle import Oracle
+from repro.llm.parsing import extract_yes_no
+from repro.llm.prompts import predicate_check_prompt
+from repro.llm.simulated import SimulatedLLM
+from repro.quality.dawid_skene import dawid_skene
+from repro.quality.voting import majority_vote
+
+PREDICATE = "is a long word"
+MODELS = ("sim-small", "sim-gpt-3.5-turbo", "sim-claude")
+N_ITEMS = 60
+
+
+def run_quality_control_ablation(seed: int = 0) -> dict[str, float]:
+    items = random_words(N_ITEMS, seed=seed)
+    oracle = Oracle()
+    oracle.register_predicate(PREDICATE, lambda word: len(word) >= 8)
+    client = SimulatedLLM(oracle, seed=seed)
+
+    answers: dict[str, dict[str, bool]] = {}
+    for item in items:
+        answers[item] = {}
+        for model in MODELS:
+            response = client.complete(predicate_check_prompt(item, PREDICATE), model=model)
+            try:
+                answers[item][model] = extract_yes_no(response.text)
+            except ResponseParseError:
+                answers[item][model] = False
+
+    truth = {item: len(item) >= 8 for item in items}
+
+    def accuracy(predictions: dict[str, bool]) -> float:
+        return sum(predictions[item] == truth[item] for item in items) / len(items)
+
+    single_cheap = accuracy({item: answers[item]["sim-small"] for item in items})
+    single_best = accuracy({item: answers[item]["sim-claude"] for item in items})
+    voted = accuracy(
+        {item: bool(majority_vote(list(answers[item].values())).winner) for item in items}
+    )
+    em = dawid_skene(answers)
+    em_accuracy = accuracy({item: bool(em.predictions[item]) for item in items})
+
+    return {
+        "single_cheap": single_cheap,
+        "single_best": single_best,
+        "majority_vote": voted,
+        "dawid_skene": em_accuracy,
+        "em_rank_ok": float(
+            em.worker_accuracy["sim-claude"] >= em.worker_accuracy["sim-small"] - 0.05
+        ),
+    }
+
+
+def test_ablation_quality_control(benchmark):
+    measured = benchmark.pedantic(run_quality_control_ablation, rounds=1, iterations=1)
+
+    rows = [
+        ["single model (sim-small)", f"{measured['single_cheap']:.3f}", 1],
+        ["single model (sim-claude)", f"{measured['single_best']:.3f}", 1],
+        ["majority vote (3 models)", f"{measured['majority_vote']:.3f}", 3],
+        ["Dawid-Skene EM (3 models)", f"{measured['dawid_skene']:.3f}", 3],
+    ]
+    print_table(
+        "Ablation B: quality control on predicate checks",
+        ["aggregation", "accuracy", "calls per item"],
+        rows,
+    )
+
+    # Voting across models beats the cheapest single model.
+    assert measured["majority_vote"] >= measured["single_cheap"]
+    # EM aggregation performs at least as well as plain majority voting - 5%.
+    assert measured["dawid_skene"] >= measured["majority_vote"] - 0.05
+    # EM's latent worker-accuracy estimates rank the better model correctly.
+    assert measured["em_rank_ok"] == 1.0

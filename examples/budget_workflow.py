@@ -1,0 +1,64 @@
+"""Multi-step workflow under one budget: filter, then sort, then top-k.
+
+Run with:  python examples/budget_workflow.py
+
+Shows the engine-level plumbing the paper's vision requires: one
+PromptSession (shared cache, tracker, budget) spanning a filtering step, a
+sorting step, and a top-k step, with multi-model quality control on the
+filter.
+"""
+
+from __future__ import annotations
+
+from repro import PromptSession, SimulatedLLM
+from repro.core.budget import Budget
+from repro.core.workflow import Workflow
+from repro.data import FLAVORS, flavor_oracle
+from repro.operators import FilterOperator, SortOperator, TopKOperator
+
+CRITERION = "chocolatey"
+PREDICATE = "is a dessert flavor containing chocolate or cocoa"
+
+
+def main() -> None:
+    oracle = flavor_oracle()
+    oracle.register_predicate(
+        PREDICATE, lambda flavor: oracle.score(flavor, CRITERION) >= 5.0
+    )
+    session = PromptSession(SimulatedLLM(oracle, seed=11), budget=Budget(limit=1.0))
+
+    def filter_step(session_, results):
+        operator = FilterOperator(session_.client(), PREDICATE, model="sim-gpt-3.5-turbo")
+        result = operator.run(
+            list(FLAVORS),
+            strategy="ensemble_vote",
+            models=["sim-gpt-3.5-turbo", "sim-claude", "sim-small"],
+        )
+        return result.kept
+
+    def sort_step(session_, results):
+        operator = SortOperator(session_.client(), CRITERION, model="sim-gpt-3.5-turbo")
+        return operator.run(results["filter"], strategy="rating").order
+
+    def top_step(session_, results):
+        operator = TopKOperator(session_.client(), CRITERION, model="sim-gpt-3.5-turbo")
+        return operator.run(results["sort"], k=3, strategy="hybrid_rating_comparison").top_items
+
+    workflow = (
+        Workflow("chocolate-shortlist")
+        .add_step("filter", filter_step, description="keep chocolate-forward flavors")
+        .add_step("sort", sort_step, description="rank the survivors")
+        .add_step("top", top_step, description="pick the top three")
+    )
+    report = workflow.execute(session)
+
+    print(f"flavors kept by the filter : {len(report.results['filter'])} of {len(FLAVORS)}")
+    print(f"top three flavors          : {report.results['top']}")
+    print(f"total prompt tokens        : {report.total_prompt_tokens}")
+    print(f"total completion tokens    : {report.total_completion_tokens}")
+    print(f"total cost                 : ${report.total_cost:.5f} (budget $1.00)")
+    print(f"cache hit rate             : {session.cache.stats.hit_rate:.2%}")
+
+
+if __name__ == "__main__":
+    main()

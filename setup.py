@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without the ``wheel`` package (``pip install -e .`` needs it for
+PEP 660 editable builds; ``python setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

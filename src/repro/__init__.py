@@ -1,0 +1,72 @@
+"""Declarative prompt engineering via crowdsourcing principles.
+
+A reproduction of "Revisiting Prompt Engineering via Declarative
+Crowdsourcing" (CIDR 2024).  The package treats LLMs as noisy oracles and
+provides declarative data-processing operators (sort, resolve, impute, count,
+filter, top-k, cluster) with multiple prompting strategies per operator, a
+budget-aware execution engine, quality control drawn from the crowdsourcing
+literature, and a simulated LLM substrate so everything runs offline.
+
+Quickstart::
+
+    from repro import DeclarativeEngine, SortSpec
+    from repro.data import FLAVORS, flavor_oracle
+    from repro.llm import SimulatedLLM
+
+    engine = DeclarativeEngine(SimulatedLLM(flavor_oracle()))
+    result = engine.sort(SortSpec(items=list(FLAVORS), criterion="chocolatey",
+                                  strategy="pairwise"))
+    print(result.order[:3], result.usage.total_tokens)
+"""
+
+from repro.core.budget import Budget
+from repro.core.engine import DeclarativeEngine
+from repro.core.session import PromptSession
+from repro.core.spec import ImputeSpec, ResolveSpec, SortSpec
+from repro.core.workflow import Workflow
+from repro.exceptions import (
+    BudgetExceededError,
+    ContextLengthExceededError,
+    ReproError,
+    ResponseParseError,
+    SpecError,
+    UnknownStrategyError,
+)
+from repro.llm import HashingEmbedder, Oracle, SimulatedLLM
+from repro.operators import (
+    ClusterOperator,
+    CountOperator,
+    FilterOperator,
+    ImputeOperator,
+    ResolveOperator,
+    SortOperator,
+    TopKOperator,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "ClusterOperator",
+    "ContextLengthExceededError",
+    "CountOperator",
+    "DeclarativeEngine",
+    "FilterOperator",
+    "HashingEmbedder",
+    "ImputeOperator",
+    "ImputeSpec",
+    "Oracle",
+    "PromptSession",
+    "ReproError",
+    "ResolveOperator",
+    "ResolveSpec",
+    "ResponseParseError",
+    "SimulatedLLM",
+    "SortOperator",
+    "SortSpec",
+    "SpecError",
+    "UnknownStrategyError",
+    "Workflow",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Consistency repair for rankings built from pairwise comparisons.
+
+Two pieces from the paper:
+
+* ``alignment_insert_position`` — the Table 2 insertion rule: a missed word is
+  compared against every word of the partially sorted list (twice, with the
+  operand order swapped to cancel position bias) and inserted at the position
+  that *minimises the number of inverted comparisons*, rather than at the
+  first "less than" answer, which a single early mistake would derail.
+* ``minimum_feedback_edges`` / ``best_consistent_order`` — Section 3.3's
+  maximum-likelihood view of sorting: given noisy pairwise comparisons, the
+  order that flips the minimum number of edges is the maximum-likelihood
+  topological order.  An exact solver is exponential, so a local-search
+  heuristic over an initial Borda order is used for anything beyond a handful
+  of items.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Hashable, Mapping, Sequence
+
+
+def alignment_insert_position(
+    sorted_items: Sequence[Hashable],
+    comparisons: Mapping[Hashable, bool],
+) -> int:
+    """Best insertion index for a missing item given noisy comparisons.
+
+    Args:
+        sorted_items: the partially sorted list (best rank first).
+        comparisons: for each item of ``sorted_items``, whether the missing
+            item was judged to rank *before* that item (aggregated over the
+            two prompts with swapped operand order).
+
+    Returns:
+        The index in ``[0, len(sorted_items)]`` at which inserting the missing
+        item inverts the fewest comparison results.
+    """
+    best_index = 0
+    best_violations: int | None = None
+    for candidate in range(len(sorted_items) + 1):
+        violations = 0
+        for position, item in enumerate(sorted_items):
+            judged_before = comparisons.get(item)
+            if judged_before is None:
+                continue
+            # If inserted at `candidate`, the missing item precedes every item
+            # at position >= candidate.
+            actually_before = position >= candidate
+            if judged_before != actually_before:
+                violations += 1
+        if best_violations is None or violations < best_violations:
+            best_violations = violations
+            best_index = candidate
+    return best_index
+
+
+def count_inversions(
+    order: Sequence[Hashable],
+    comparisons: Mapping[tuple[Hashable, Hashable], bool],
+) -> int:
+    """Number of pairwise comparison results violated by ``order``.
+
+    ``comparisons[(a, b)] is True`` means some task judged ``a`` to rank
+    before ``b``.  Pairs not present in ``comparisons`` are unconstrained.
+    """
+    position = {item: index for index, item in enumerate(order)}
+    violations = 0
+    for (first, second), first_before in comparisons.items():
+        if first not in position or second not in position:
+            continue
+        actually_before = position[first] < position[second]
+        if actually_before != first_before:
+            violations += 1
+    return violations
+
+
+def minimum_feedback_edges(
+    items: Sequence[Hashable],
+    comparisons: Mapping[tuple[Hashable, Hashable], bool],
+) -> int:
+    """Minimum number of comparisons that must be flipped for consistency.
+
+    Exact for up to eight items (brute force over permutations); for larger
+    inputs the local-search order from :func:`best_consistent_order` provides
+    an upper bound.
+    """
+    items = list(items)
+    if len(items) <= 8:
+        return min(
+            count_inversions(list(order), comparisons) for order in permutations(items)
+        )
+    return count_inversions(best_consistent_order(items, comparisons), comparisons)
+
+
+def _borda_order(
+    items: Sequence[Hashable],
+    comparisons: Mapping[tuple[Hashable, Hashable], bool],
+) -> list[Hashable]:
+    """Initial order: items sorted by number of comparisons 'won'."""
+    wins: dict[Hashable, int] = {item: 0 for item in items}
+    for (first, second), first_before in comparisons.items():
+        winner = first if first_before else second
+        if winner in wins:
+            wins[winner] += 1
+    return sorted(items, key=lambda item: -wins[item])
+
+
+def best_consistent_order(
+    items: Sequence[Hashable],
+    comparisons: Mapping[tuple[Hashable, Hashable], bool],
+    *,
+    max_passes: int = 10,
+) -> list[Hashable]:
+    """Order that (locally) minimises violated comparisons.
+
+    Starts from the Borda-count order and repeatedly applies adjacent swaps
+    that reduce the number of violated comparisons until a fixed point (or
+    ``max_passes`` sweeps).  This mirrors the maximum-likelihood repair of
+    Section 3.3 without the exponential cost of the exact solution.
+    """
+    order = _borda_order(items, comparisons)
+    for _ in range(max_passes):
+        improved = False
+        for index in range(len(order) - 1):
+            current = count_inversions(order, comparisons)
+            swapped = list(order)
+            swapped[index], swapped[index + 1] = swapped[index + 1], swapped[index]
+            if count_inversions(swapped, comparisons) < current:
+                order = swapped
+                improved = True
+        if not improved:
+            break
+    return list(order)

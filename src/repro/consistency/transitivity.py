@@ -1,0 +1,103 @@
+"""Transitivity over duplicate judgments.
+
+The entity-resolution case study (Table 3) flips "No" answers to "Yes"
+whenever the two records are connected by a path of "Yes" edges — i.e. it
+takes the transitive closure of the match graph.  :class:`MatchGraph` stores
+the pairwise judgments and exposes exactly that operation, plus the connected
+components used to turn pairwise matches into entity clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+
+class MatchGraph:
+    """An undirected graph of match ("Yes") judgments over records.
+
+    Nodes are record identifiers (any hashable); an edge means some task
+    judged the two records duplicates.  Non-match judgments are tracked
+    separately so that evidence-based repair can reason about both kinds.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._non_matches: set[frozenset[Hashable]] = set()
+
+    def add_node(self, node: Hashable) -> None:
+        """Ensure a record participates in the graph even with no judgments."""
+        self._graph.add_node(node)
+
+    def add_match(self, left: Hashable, right: Hashable) -> None:
+        """Record a positive (duplicate) judgment."""
+        self._graph.add_edge(left, right)
+
+    def add_non_match(self, left: Hashable, right: Hashable) -> None:
+        """Record a negative (not duplicate) judgment."""
+        self._graph.add_node(left)
+        self._graph.add_node(right)
+        self._non_matches.add(frozenset((left, right)))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        return list(self._graph.nodes)
+
+    def has_match_edge(self, left: Hashable, right: Hashable) -> bool:
+        """Whether a direct positive judgment exists between two records."""
+        return self._graph.has_edge(left, right)
+
+    def has_non_match(self, left: Hashable, right: Hashable) -> bool:
+        """Whether a direct negative judgment exists between two records."""
+        return frozenset((left, right)) in self._non_matches
+
+    def connected(self, left: Hashable, right: Hashable) -> bool:
+        """Whether a path of positive judgments connects the two records."""
+        if left not in self._graph or right not in self._graph:
+            return False
+        if left == right:
+            return True
+        return nx.has_path(self._graph, left, right)
+
+    def components(self) -> list[set[Hashable]]:
+        """Connected components of the match graph (the inferred entities)."""
+        return [set(component) for component in nx.connected_components(self._graph)]
+
+    def transitive_matches(self) -> set[frozenset[Hashable]]:
+        """All unordered pairs connected by the transitive closure."""
+        closure: set[frozenset[Hashable]] = set()
+        for component in nx.connected_components(self._graph):
+            members = list(component)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    closure.add(frozenset((members[i], members[j])))
+        return closure
+
+    def conflicts(self) -> list[frozenset[Hashable]]:
+        """Negative judgments contradicted by the transitive closure.
+
+        These are exactly the pairs the paper's strategy flips from "No" to
+        "Yes"; returning them explicitly lets callers audit the repair.
+        """
+        closure = self.transitive_matches()
+        return [pair for pair in self._non_matches if pair in closure]
+
+
+def connected_components(edges: Iterable[tuple[Hashable, Hashable]]) -> list[set[Hashable]]:
+    """Connected components of an undirected edge list."""
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return [set(component) for component in nx.connected_components(graph)]
+
+
+def transitive_closure_pairs(
+    edges: Iterable[tuple[Hashable, Hashable]]
+) -> set[frozenset[Hashable]]:
+    """All unordered pairs connected by paths through ``edges``."""
+    graph = MatchGraph()
+    for left, right in edges:
+        graph.add_match(left, right)
+    return graph.transitive_matches()

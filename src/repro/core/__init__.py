@@ -1,0 +1,32 @@
+"""The declarative engine — the paper's primary contribution.
+
+Users declare *what* data-processing operation they want (sort, resolve,
+impute, ...), a budget, and optionally an accuracy target plus a labelled
+validation sample; the engine decides *how* — which prompting strategy, which
+model, how many unit tasks — and runs it while enforcing the budget.
+"""
+
+from repro.core.budget import Budget
+from repro.core.engine import DeclarativeEngine
+from repro.core.optimizer import StrategyCandidate, StrategyEvaluation, StrategySelector
+from repro.core.planner import CostEstimate, CostPlanner
+from repro.core.session import PromptSession
+from repro.core.spec import ImputeSpec, ResolveSpec, SortSpec, TaskSpec
+from repro.core.workflow import Workflow, WorkflowStep
+
+__all__ = [
+    "Budget",
+    "CostEstimate",
+    "CostPlanner",
+    "DeclarativeEngine",
+    "ImputeSpec",
+    "PromptSession",
+    "ResolveSpec",
+    "SortSpec",
+    "StrategyCandidate",
+    "StrategyEvaluation",
+    "StrategySelector",
+    "TaskSpec",
+    "Workflow",
+    "WorkflowStep",
+]

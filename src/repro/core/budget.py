@@ -1,0 +1,75 @@
+"""Monetary budgets for LLM workflows.
+
+The declarative vision lets a user say "stay under $X"; the :class:`Budget`
+object tracks spending against that limit and raises
+:class:`~repro.exceptions.BudgetExceededError` the moment an operation would
+push past it.  It can also *reserve* portions of the budget up front, which is
+how the engine splits one overall budget across the steps of a workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import BudgetExceededError, ConfigurationError
+
+
+@dataclass
+class Budget:
+    """A dollar budget with spend tracking and reservations.
+
+    Attributes:
+        limit: the maximum spend in dollars; ``None`` means unlimited.
+        spent: dollars spent so far.
+    """
+
+    limit: float | None = None
+    spent: float = 0.0
+    _reserved: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 0:
+            raise ConfigurationError("budget limit must be non-negative")
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether this budget has no limit."""
+        return self.limit is None
+
+    @property
+    def remaining(self) -> float:
+        """Dollars left before the limit (infinity when unlimited)."""
+        if self.limit is None:
+            return float("inf")
+        return max(0.0, self.limit - self.spent)
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether spending ``amount`` more would stay within the limit."""
+        return self.limit is None or self.spent + amount <= self.limit + 1e-12
+
+    def charge(self, amount: float) -> None:
+        """Record a spend of ``amount`` dollars.
+
+        Raises:
+            BudgetExceededError: if the charge would exceed the limit.  The
+                charge is still recorded so callers can report the overshoot.
+        """
+        if amount < 0:
+            raise ConfigurationError("cannot charge a negative amount")
+        self.spent += amount
+        if self.limit is not None and self.spent > self.limit + 1e-12:
+            raise BudgetExceededError(self.spent, self.limit)
+
+    def reserve(self, name: str, fraction: float) -> "Budget":
+        """Carve out a named sub-budget as a fraction of the remaining budget."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("reservation fraction must be in (0, 1]")
+        if self.limit is None:
+            return Budget(limit=None)
+        amount = self.remaining * fraction
+        self._reserved[name] = amount
+        return Budget(limit=amount)
+
+    def absorb(self, child: "Budget") -> None:
+        """Fold a sub-budget's spending back into this budget."""
+        self.charge(child.spent)

@@ -1,0 +1,227 @@
+"""The declarative engine facade.
+
+:class:`DeclarativeEngine` is the user-facing entry point of the library: it
+owns a :class:`~repro.core.session.PromptSession` (shared budget, cache,
+tracker) and turns declarative :mod:`~repro.core.spec` objects into operator
+runs.  When a spec leaves the strategy as ``"auto"`` and provides a labelled
+validation sample, the engine uses the :class:`~repro.core.optimizer.
+StrategySelector` to pick a strategy before running the full task — the
+AutoML-style loop the paper sketches in Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.budget import Budget
+from repro.core.optimizer import StrategyCandidate, StrategySelector
+from repro.core.session import PromptSession
+from repro.core.spec import ImputeSpec, ResolveSpec, SortSpec
+from repro.data.products import ImputationDataset
+from repro.data.record import Dataset
+from repro.exceptions import SpecError
+from repro.llm.base import LLMClient
+from repro.llm.registry import ModelRegistry
+from repro.metrics.classification import accuracy as exact_match_accuracy
+from repro.metrics.classification import f1_score
+from repro.metrics.ranking import kendall_tau_b
+from repro.operators.impute import ImputeOperator, ImputeResult
+from repro.operators.resolve import PairJudgmentResult, ResolveOperator
+from repro.operators.sort import SortOperator, SortResult
+
+
+class DeclarativeEngine:
+    """Run declarative data-processing specs against an LLM client."""
+
+    def __init__(
+        self,
+        client: LLMClient,
+        *,
+        registry: ModelRegistry | None = None,
+        budget: Budget | None = None,
+        default_model: str | None = None,
+    ) -> None:
+        self.session = PromptSession(client, registry=registry, budget=budget)
+        self.default_model = default_model
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _operator_kwargs(self) -> dict:
+        return {
+            "model": self.default_model,
+            "cost_model": self.session.cost_model,
+        }
+
+    @property
+    def spent_dollars(self) -> float:
+        """Total dollars spent through this engine."""
+        return self.session.spent_dollars
+
+    # -- sort ---------------------------------------------------------------------
+
+    def sort(self, spec: SortSpec) -> SortResult:
+        """Execute a sort spec, choosing a strategy automatically if asked."""
+        spec.validate()
+        strategy = spec.strategy
+        options = dict(spec.strategy_options)
+        if strategy == "auto":
+            strategy, options = self._choose_sort_strategy(spec)
+        operator = SortOperator(self.session.client(), spec.criterion, **self._operator_kwargs())
+        return operator.run(list(spec.items), strategy=strategy, **options)
+
+    def _choose_sort_strategy(self, spec: SortSpec) -> tuple[str, dict]:
+        if len(spec.validation_order) < 3:
+            # Without labels there is nothing to optimize against; default to
+            # the paper's most accurate general-purpose strategy.
+            return "pairwise", {}
+        validation_items = list(spec.validation_order)
+        candidates = [
+            StrategyCandidate(name="single_prompt", cost_scaling="constant"),
+            StrategyCandidate(name="rating", cost_scaling="linear"),
+            StrategyCandidate(name="pairwise", cost_scaling="quadratic"),
+        ]
+
+        def run_candidate(candidate: StrategyCandidate) -> SortResult:
+            operator = SortOperator(
+                self.session.client(), spec.criterion, **self._operator_kwargs()
+            )
+            return operator.run(validation_items, strategy=candidate.name, **candidate.options)
+
+        def score(result: SortResult) -> float:
+            order = list(result.order) + [
+                item for item in validation_items if item not in set(result.order)
+            ]
+            tau = kendall_tau_b(order, validation_items)
+            return (tau + 1.0) / 2.0
+
+        selector = StrategySelector(
+            run_candidate=run_candidate,
+            score=score,
+            validation_size=len(validation_items),
+            full_size=len(spec.items),
+        )
+        chosen = selector.select(
+            candidates,
+            budget_dollars=spec.budget_dollars,
+            accuracy_target=spec.accuracy_target,
+        )
+        return chosen.candidate.name, dict(chosen.candidate.options)
+
+    # -- resolve ------------------------------------------------------------------
+
+    def resolve(self, spec: ResolveSpec) -> PairJudgmentResult:
+        """Execute a resolve spec over labelled or unlabelled pairs."""
+        spec.validate()
+        if not spec.pairs:
+            raise SpecError(
+                "DeclarativeEngine.resolve currently requires pairs; use ResolveOperator.resolve "
+                "directly for whole-corpus clustering"
+            )
+        strategy = spec.strategy
+        options = dict(spec.strategy_options)
+        if strategy == "auto":
+            strategy, options = self._choose_resolve_strategy(spec)
+        operator = ResolveOperator(self.session.client(), **self._operator_kwargs())
+        return operator.judge_pairs(
+            list(spec.pairs),
+            strategy=strategy,
+            corpus=list(spec.records) or None,
+            neighbors_k=options.pop("neighbors_k", spec.neighbors_k),
+            **options,
+        )
+
+    def _choose_resolve_strategy(self, spec: ResolveSpec) -> tuple[str, dict]:
+        labels = dict(spec.validation_labels)
+        if len(labels) < 5:
+            return "transitive", {"neighbors_k": spec.neighbors_k}
+        validation_pairs = list(labels)
+        candidates = [
+            StrategyCandidate(name="pairwise", cost_scaling="linear"),
+            StrategyCandidate(
+                name="transitive", options={"neighbors_k": spec.neighbors_k}, cost_scaling="linear"
+            ),
+            StrategyCandidate(name="proxy_hybrid", cost_scaling="linear"),
+        ]
+
+        def run_candidate(candidate: StrategyCandidate) -> PairJudgmentResult:
+            operator = ResolveOperator(self.session.client(), **self._operator_kwargs())
+            return operator.judge_pairs(
+                validation_pairs,
+                strategy=candidate.name,
+                corpus=list(spec.records) or None,
+                **candidate.options,
+            )
+
+        def score(result: PairJudgmentResult) -> float:
+            predictions = [judgment.is_duplicate for judgment in result.judgments]
+            truth = [labels[pair] for pair in validation_pairs]
+            return f1_score(predictions, truth)
+
+        selector = StrategySelector(
+            run_candidate=run_candidate,
+            score=score,
+            validation_size=len(validation_pairs),
+            full_size=len(spec.pairs),
+        )
+        chosen = selector.select(
+            candidates,
+            budget_dollars=spec.budget_dollars,
+            accuracy_target=spec.accuracy_target,
+        )
+        return chosen.candidate.name, dict(chosen.candidate.options)
+
+    # -- impute -------------------------------------------------------------------
+
+    def impute(self, spec: ImputeSpec) -> ImputeResult:
+        """Execute an impute spec, choosing a strategy automatically if asked."""
+        spec.validate()
+        assert spec.data is not None  # validate() guarantees this
+        strategy = spec.strategy
+        options: dict = {"n_examples": spec.n_examples}
+        if strategy == "auto":
+            strategy = self._choose_impute_strategy(spec)
+        operator = ImputeOperator(self.session.client(), **self._operator_kwargs())
+        return operator.run(spec.data, strategy=strategy, **options)
+
+    def _choose_impute_strategy(self, spec: ImputeSpec) -> str:
+        data = spec.data
+        assert data is not None
+        validation_size = min(spec.validation_size, len(data.queries))
+        if validation_size < 5:
+            return "hybrid"
+        validation_records = data.queries.records[:validation_size]
+        validation_data = ImputationDataset(
+            name=f"{data.name}-validation",
+            target_attribute=data.target_attribute,
+            queries=Dataset(validation_records, name=f"{data.name}-validation-queries"),
+            reference=data.reference,
+            ground_truth={
+                record.record_id: data.ground_truth[record.record_id]
+                for record in validation_records
+            },
+        )
+        candidates = [
+            StrategyCandidate(name="knn", cost_scaling="linear"),
+            StrategyCandidate(name="hybrid", cost_scaling="linear"),
+            StrategyCandidate(name="llm_only", cost_scaling="linear"),
+        ]
+
+        def run_candidate(candidate: StrategyCandidate) -> ImputeResult:
+            operator = ImputeOperator(self.session.client(), **self._operator_kwargs())
+            return operator.run(validation_data, strategy=candidate.name, n_examples=spec.n_examples)
+
+        def score(result: ImputeResult) -> float:
+            return exact_match_accuracy(result.predictions, validation_data.ground_truth)
+
+        selector = StrategySelector(
+            run_candidate=run_candidate,
+            score=score,
+            validation_size=validation_size,
+            full_size=len(data.queries),
+        )
+        chosen = selector.select(
+            candidates,
+            budget_dollars=spec.budget_dollars,
+            accuracy_target=spec.accuracy_target,
+        )
+        return chosen.candidate.name

@@ -1,0 +1,138 @@
+"""A-priori cost planning for prompting strategies.
+
+The strategy optimizer (:mod:`repro.core.optimizer`) *measures* cost on a
+validation sample; the planner here *predicts* cost before anything runs, from
+the number of data items, the average item length, and each strategy's call
+structure (one prompt, O(n) unit tasks, O(n²) pairs, ...).  The engine uses
+these estimates to discard strategies that obviously cannot fit a budget
+without spending a single token on them, and reports them to users as a
+pre-flight quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.llm.registry import ModelRegistry, default_registry
+from repro.tokenizer.cost import Usage
+from repro.tokenizer.simple import SimpleTokenizer
+
+#: Rough token overhead of the structured prompt scaffolding per call
+#: (task header, instructions, numbering).
+_PROMPT_OVERHEAD_TOKENS = 60
+#: Expected completion length of a short unit-task answer.
+_SHORT_COMPLETION_TOKENS = 15
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted cost of running one strategy over a dataset.
+
+    Attributes:
+        strategy: strategy name the estimate is for.
+        calls: predicted number of LLM calls.
+        usage: predicted token usage.
+        dollars: predicted dollar cost under the planner's model/price table.
+    """
+
+    strategy: str
+    calls: int
+    usage: Usage
+    dollars: float
+
+
+class CostPlanner:
+    """Predict calls, tokens, and dollars for the standard strategy shapes.
+
+    Args:
+        model: model the work would run on (prices and context come from it).
+        registry: model catalogue; defaults to the standard registry.
+    """
+
+    def __init__(self, model: str, *, registry: ModelRegistry | None = None) -> None:
+        self.registry = registry or default_registry()
+        self.spec = self.registry.get(model)
+        self.tokenizer = SimpleTokenizer()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _average_item_tokens(self, items: Sequence[str]) -> float:
+        if not items:
+            raise ConfigurationError("cannot plan over an empty item list")
+        return sum(self.tokenizer.count(str(item)) for item in items) / len(items)
+
+    def _estimate(self, strategy: str, calls: int, prompt_tokens: float, completion_tokens: float) -> CostEstimate:
+        usage = Usage(
+            prompt_tokens=int(round(prompt_tokens)),
+            completion_tokens=int(round(completion_tokens)),
+            calls=calls,
+        )
+        return CostEstimate(
+            strategy=strategy,
+            calls=calls,
+            usage=usage,
+            dollars=self.spec.prices.cost(usage),
+        )
+
+    # -- strategy shapes --------------------------------------------------------------
+
+    def single_prompt(self, items: Sequence[str]) -> CostEstimate:
+        """One prompt containing every item; the answer echoes the whole list."""
+        item_tokens = self._average_item_tokens(items) * len(items)
+        return self._estimate(
+            "single_prompt",
+            calls=1,
+            prompt_tokens=item_tokens + _PROMPT_OVERHEAD_TOKENS,
+            completion_tokens=item_tokens,
+        )
+
+    def per_item(self, items: Sequence[str], *, batch_size: int = 1) -> CostEstimate:
+        """One unit task per item (optionally batched), short answers."""
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        average = self._average_item_tokens(items)
+        calls = -(-len(items) // batch_size)  # ceiling division
+        prompt_tokens = calls * _PROMPT_OVERHEAD_TOKENS + len(items) * average
+        completion_tokens = len(items) * _SHORT_COMPLETION_TOKENS
+        return self._estimate("per_item", calls, prompt_tokens, completion_tokens)
+
+    def pairwise(self, items: Sequence[str]) -> CostEstimate:
+        """One comparison task per unordered pair of items."""
+        average = self._average_item_tokens(items)
+        calls = len(items) * (len(items) - 1) // 2
+        prompt_tokens = calls * (_PROMPT_OVERHEAD_TOKENS + 2 * average)
+        completion_tokens = calls * _SHORT_COMPLETION_TOKENS
+        return self._estimate("pairwise", calls, prompt_tokens, completion_tokens)
+
+    def pairwise_against(self, items: Sequence[str], reference_count: int) -> CostEstimate:
+        """One comparison of each item against ``reference_count`` fixed references."""
+        if reference_count < 0:
+            raise ConfigurationError("reference_count must be non-negative")
+        average = self._average_item_tokens(items)
+        calls = len(items) * reference_count
+        prompt_tokens = calls * (_PROMPT_OVERHEAD_TOKENS + 2 * average)
+        completion_tokens = calls * _SHORT_COMPLETION_TOKENS
+        return self._estimate("pairwise_against", calls, prompt_tokens, completion_tokens)
+
+    # -- queries --------------------------------------------------------------------
+
+    def fits_budget(self, estimate: CostEstimate, budget_dollars: float) -> bool:
+        """Whether the estimated cost fits under ``budget_dollars``."""
+        return estimate.dollars <= budget_dollars
+
+    def fits_context(self, items: Sequence[str]) -> bool:
+        """Whether a single prompt holding every item fits the model's context."""
+        estimate = self.single_prompt(items)
+        return estimate.usage.prompt_tokens <= self.spec.context_length
+
+    def affordable_strategies(
+        self, items: Sequence[str], budget_dollars: float
+    ) -> list[CostEstimate]:
+        """Standard strategy estimates that fit the budget, cheapest first."""
+        estimates = [self.single_prompt(items), self.per_item(items), self.pairwise(items)]
+        affordable = [
+            estimate for estimate in estimates if self.fits_budget(estimate, budget_dollars)
+        ]
+        return sorted(affordable, key=lambda estimate: estimate.dollars)

@@ -1,0 +1,99 @@
+"""Prompt sessions: the bundle of client, registry, cache, tracker, and budget.
+
+A :class:`PromptSession` is what the engine hands to every operator it
+constructs, so that all LLM traffic in a workflow shares one usage tracker,
+one response cache, and one budget — regardless of how many operators or
+strategies the workflow touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_CONFIG, ReproConfig
+from repro.core.budget import Budget
+from repro.llm.base import LLMClient, LLMResponse
+from repro.llm.cache import CachedClient, ResponseCache
+from repro.llm.registry import ModelRegistry, default_registry
+from repro.llm.tracker import UsageTracker
+from repro.tokenizer.cost import CostModel
+
+
+@dataclass
+class SessionClient:
+    """LLM client view bound to a session: cached, tracked, budget-enforced."""
+
+    session: "PromptSession"
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        return self.session.complete(
+            prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+
+class PromptSession:
+    """Shared execution context for one declarative workflow.
+
+    Args:
+        client: the underlying LLM client (typically a :class:`SimulatedLLM`).
+        registry: the model catalogue; defaults to the standard registry.
+        budget: the monetary budget; defaults to unlimited.
+        config: library configuration defaults.
+        use_cache: whether identical temperature-0 prompts are deduplicated.
+    """
+
+    def __init__(
+        self,
+        client: LLMClient,
+        *,
+        registry: ModelRegistry | None = None,
+        budget: Budget | None = None,
+        config: ReproConfig = DEFAULT_CONFIG,
+        use_cache: bool = True,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.budget = budget or Budget()
+        self.config = config
+        self.cost_model: CostModel = self.registry.cost_model()
+        self.tracker = UsageTracker(cost_model=self.cost_model)
+        self.cache = ResponseCache()
+        self._client: LLMClient = CachedClient(client, self.cache) if use_cache else client
+        self._raw_client = client
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Issue one call through the session: cache, track, and charge it."""
+        model_name = model or self.config.chat_model
+        response = self._client.complete(
+            prompt, model=model_name, temperature=temperature, max_tokens=max_tokens
+        )
+        self.tracker.record(response)
+        if self.cost_model.has_model(response.model):
+            self.budget.charge(self.cost_model.cost(response.model, response.usage))
+        return response
+
+    def client(self) -> SessionClient:
+        """A client view suitable for handing to operators."""
+        return SessionClient(session=self)
+
+    @property
+    def spent_dollars(self) -> float:
+        """Dollars spent through this session so far."""
+        return self.budget.spent
+
+    def reset_usage(self) -> None:
+        """Clear the tracker (the budget's spend is intentionally kept)."""
+        self.tracker.reset()

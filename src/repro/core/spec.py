@@ -1,0 +1,98 @@
+"""Declarative task specifications.
+
+A spec captures *what* the user wants done, independent of *how* it will be
+executed: the operation, the data, the quality/cost targets, and optionally a
+labelled validation sample the optimizer may use to choose a strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.data.products import ImputationDataset
+from repro.exceptions import SpecError
+
+
+@dataclass
+class TaskSpec:
+    """Base class for declarative task specifications.
+
+    Attributes:
+        budget_dollars: optional monetary budget for the task.
+        accuracy_target: optional minimum acceptable accuracy in [0, 1].
+        strategy: explicit strategy name, or ``"auto"`` to let the optimizer
+            choose from the operator's registered strategies.
+        strategy_options: keyword arguments forwarded to the chosen strategy.
+    """
+
+    budget_dollars: float | None = None
+    accuracy_target: float | None = None
+    strategy: str = "auto"
+    strategy_options: dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` if the spec is inconsistent."""
+        if self.budget_dollars is not None and self.budget_dollars < 0:
+            raise SpecError("budget_dollars must be non-negative")
+        if self.accuracy_target is not None and not 0.0 <= self.accuracy_target <= 1.0:
+            raise SpecError("accuracy_target must be within [0, 1]")
+
+
+@dataclass
+class SortSpec(TaskSpec):
+    """Sort ``items`` by ``criterion``.
+
+    ``validation_order`` optionally provides the ground-truth order of a small
+    labelled subset of the items, which the optimizer uses to score candidate
+    strategies before committing to one for the full list.
+    """
+
+    items: Sequence[str] = ()
+    criterion: str = ""
+    validation_order: Sequence[str] = ()
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.criterion:
+            raise SpecError("a sort spec needs a criterion")
+        if len(self.items) < 2:
+            raise SpecError("a sort spec needs at least two items")
+        unknown = set(self.validation_order) - set(self.items)
+        if unknown:
+            raise SpecError(f"validation items not present in the input: {sorted(unknown)}")
+
+
+@dataclass
+class ResolveSpec(TaskSpec):
+    """Judge duplicate pairs (or cluster records when ``pairs`` is empty)."""
+
+    records: Sequence[str] = ()
+    pairs: Sequence[tuple[str, str]] = ()
+    validation_labels: Mapping[tuple[str, str], bool] = field(default_factory=dict)
+    neighbors_k: int = 1
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.records and not self.pairs:
+            raise SpecError("a resolve spec needs records or pairs")
+        if self.neighbors_k < 0:
+            raise SpecError("neighbors_k must be non-negative")
+
+
+@dataclass
+class ImputeSpec(TaskSpec):
+    """Impute the missing attribute of an :class:`ImputationDataset`."""
+
+    data: ImputationDataset | None = None
+    n_examples: int = 0
+    validation_size: int = 20
+
+    def validate(self) -> None:
+        super().validate()
+        if self.data is None:
+            raise SpecError("an impute spec needs a dataset")
+        if self.n_examples < 0:
+            raise SpecError("n_examples must be non-negative")
+        if self.validation_size < 0:
+            raise SpecError("validation_size must be non-negative")

@@ -1,0 +1,81 @@
+"""Multi-step workflows over declarative operators.
+
+A workflow is an ordered list of named steps; each step receives the results
+of the previous steps and the shared :class:`~repro.core.session.PromptSession`
+and returns an arbitrary result.  The engine uses workflows to chain, e.g., a
+blocking step, a pairwise resolution step, and a consistency-repair step,
+while a single budget and tracker span all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.session import PromptSession
+from repro.exceptions import SpecError
+
+
+@dataclass
+class WorkflowStep:
+    """One step of a workflow.
+
+    Attributes:
+        name: unique step name; later steps read earlier results by name.
+        run: callable ``(session, results_so_far) -> result``.
+        description: human-readable summary, used in reports.
+    """
+
+    name: str
+    run: Callable[[PromptSession, dict[str, Any]], Any]
+    description: str = ""
+
+
+@dataclass
+class WorkflowReport:
+    """Execution record of a workflow run."""
+
+    results: dict[str, Any] = field(default_factory=dict)
+    step_order: list[str] = field(default_factory=list)
+    total_cost: float = 0.0
+    total_prompt_tokens: int = 0
+    total_completion_tokens: int = 0
+
+
+class Workflow:
+    """An ordered, named sequence of steps sharing one session."""
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self._steps: list[WorkflowStep] = []
+
+    def add_step(
+        self,
+        name: str,
+        run: Callable[[PromptSession, dict[str, Any]], Any],
+        *,
+        description: str = "",
+    ) -> "Workflow":
+        """Append a step; returns ``self`` so calls can be chained."""
+        if any(step.name == name for step in self._steps):
+            raise SpecError(f"duplicate workflow step name: {name!r}")
+        self._steps.append(WorkflowStep(name=name, run=run, description=description))
+        return self
+
+    @property
+    def steps(self) -> list[WorkflowStep]:
+        return list(self._steps)
+
+    def execute(self, session: PromptSession) -> WorkflowReport:
+        """Run every step in order against ``session``."""
+        if not self._steps:
+            raise SpecError(f"workflow {self.name!r} has no steps")
+        report = WorkflowReport()
+        for step in self._steps:
+            report.results[step.name] = step.run(session, dict(report.results))
+            report.step_order.append(step.name)
+        usage = session.tracker.usage
+        report.total_cost = session.tracker.cost()
+        report.total_prompt_tokens = usage.prompt_tokens
+        report.total_completion_tokens = usage.completion_tokens
+        return report

@@ -1,0 +1,62 @@
+"""Train / validation / test splitting.
+
+Section 4 of the paper envisions users labelling a small validation sample
+which the toolkit uses to explore the cost–accuracy tradeoff before committing
+a strategy to the whole dataset.  This module provides the reproducible split
+utility that the strategy optimizer builds on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.record import Dataset
+from repro.exceptions import DatasetError
+
+
+@dataclass
+class DataSplit:
+    """Result of a three-way split."""
+
+    train: Dataset
+    validation: Dataset
+    test: Dataset
+
+
+def train_validation_test_split(
+    dataset: Dataset,
+    *,
+    validation_fraction: float = 0.1,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> DataSplit:
+    """Split a dataset into train / validation / test subsets.
+
+    Args:
+        dataset: the dataset to split.
+        validation_fraction: fraction of records for the validation set.
+        test_fraction: fraction of records for the test set.
+        seed: RNG seed; identical seeds produce identical splits.
+
+    Raises:
+        DatasetError: if the fractions do not leave room for a training set.
+    """
+    if validation_fraction < 0 or test_fraction < 0:
+        raise DatasetError("split fractions must be non-negative")
+    if validation_fraction + test_fraction >= 1.0:
+        raise DatasetError("validation and test fractions must sum to less than 1")
+    records = dataset.records
+    rng = random.Random(seed)
+    rng.shuffle(records)
+    n_total = len(records)
+    n_validation = int(round(n_total * validation_fraction))
+    n_test = int(round(n_total * test_fraction))
+    validation = records[:n_validation]
+    test = records[n_validation : n_validation + n_test]
+    train = records[n_validation + n_test :]
+    return DataSplit(
+        train=Dataset(train, name=f"{dataset.name}-train"),
+        validation=Dataset(validation, name=f"{dataset.name}-validation"),
+        test=Dataset(test, name=f"{dataset.name}-test"),
+    )

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses distinguish the three
+failure domains a declarative prompt-engineering toolkit has to care about:
+the LLM substrate (context limits, parse failures), the budget (cost limits),
+and the declarative layer (bad specs, unknown strategies).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class UnknownModelError(ReproError):
+    """A model name was requested that is not present in the registry."""
+
+
+class ContextLengthExceededError(ReproError):
+    """A prompt did not fit into the model's context window.
+
+    Mirrors the hard failure a real LLM API returns when the number of prompt
+    tokens exceeds the model's context length.
+    """
+
+    def __init__(self, prompt_tokens: int, context_length: int, model: str = "") -> None:
+        self.prompt_tokens = prompt_tokens
+        self.context_length = context_length
+        self.model = model
+        message = (
+            f"prompt of {prompt_tokens} tokens exceeds context length "
+            f"{context_length}" + (f" for model {model!r}" if model else "")
+        )
+        super().__init__(message)
+
+
+class ResponseParseError(ReproError):
+    """The answer could not be extracted from an LLM response."""
+
+    def __init__(self, message: str, response_text: str = "") -> None:
+        self.response_text = response_text
+        super().__init__(message)
+
+
+class BudgetExceededError(ReproError):
+    """An operation would exceed (or has exceeded) the monetary budget."""
+
+    def __init__(self, spent: float, limit: float, message: str | None = None) -> None:
+        self.spent = spent
+        self.limit = limit
+        super().__init__(
+            message or f"budget exceeded: spent ${spent:.6f} of ${limit:.6f} limit"
+        )
+
+
+class SpecError(ReproError):
+    """A declarative task specification is invalid or incomplete."""
+
+
+class UnknownStrategyError(SpecError):
+    """The requested strategy name is not registered for the operator."""
+
+    def __init__(self, operator: str, strategy: str, available: list[str] | None = None) -> None:
+        self.operator = operator
+        self.strategy = strategy
+        self.available = list(available or [])
+        message = f"unknown strategy {strategy!r} for operator {operator!r}"
+        if self.available:
+            message += f" (available: {', '.join(sorted(self.available))})"
+        super().__init__(message)
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed for the requested operation."""
+
+
+class QualityControlError(ReproError):
+    """A quality-control procedure could not be carried out."""

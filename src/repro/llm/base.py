@@ -1,0 +1,77 @@
+"""Client protocol and response types for (simulated) LLMs.
+
+Every LLM-facing component in the library talks to the :class:`LLMClient`
+protocol rather than a concrete class, so the simulated client, the caching
+wrapper, the cascade router and the ensemble client are all interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.tokenizer.cost import Usage
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """A single chat message (role + content).
+
+    The simulator only inspects the concatenated content, but keeping the chat
+    structure makes the client surface match real chat-completion APIs.
+    """
+
+    role: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in {"system", "user", "assistant"}:
+            raise ValueError(f"unsupported chat role: {self.role!r}")
+
+
+@dataclass
+class LLMResponse:
+    """Response from a single LLM call.
+
+    Attributes:
+        text: the generated text.
+        model: the model that produced the response.
+        usage: prompt/completion token usage of this call.
+        finish_reason: ``"stop"`` normally, ``"length"`` when truncated.
+        confidence: the model's (simulated) self-confidence in ``[0, 1]``; real
+            APIs expose this indirectly through token log-probabilities.
+        metadata: free-form extra information (e.g. cache hits, routing).
+    """
+
+    text: str
+    model: str
+    usage: Usage = field(default_factory=Usage)
+    finish_reason: str = "stop"
+    confidence: float = 1.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Protocol implemented by every LLM client in this package."""
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Run one completion call and return the response."""
+        ...  # pragma: no cover - protocol definition
+
+
+def messages_to_prompt(messages: list[ChatMessage]) -> str:
+    """Flatten a chat transcript into a single prompt string.
+
+    The simulated models are plain text-completion models; chat-style callers
+    can still use them by flattening the transcript with role prefixes, the
+    same way provider SDKs do internally for non-chat models.
+    """
+    return "\n".join(f"{message.role}: {message.content}" for message in messages)

@@ -1,0 +1,109 @@
+"""Response caching.
+
+Data-processing workflows re-issue many identical unit tasks (the transitivity
+augmentation in Table 3, for example, asks about overlapping neighbor pairs).
+Caching identical (model, prompt, temperature-0) calls is the cheapest
+cost-reduction technique available, so the library makes it a first-class
+wrapper that any client can be composed with.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.llm.base import LLMClient, LLMResponse
+from repro.tokenizer.cost import Usage
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a :class:`ResponseCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ResponseCache:
+    """A bounded LRU cache of LLM responses keyed by (model, prompt)."""
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[str, str], LLMResponse] = OrderedDict()
+
+    def get(self, model: str, prompt: str) -> LLMResponse | None:
+        key = (model, prompt)
+        response = self._entries.get(key)
+        if response is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return response
+
+    def put(self, model: str, prompt: str, response: LLMResponse) -> None:
+        key = (model, prompt)
+        self._entries[key] = response
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()
+
+
+class CachedClient:
+    """Client wrapper that serves repeated temperature-0 calls from a cache.
+
+    Cached responses are returned with zero-token usage (the call never went
+    out), with a ``"cache_hit"`` marker in the metadata so downstream trackers
+    can still count logical requests if they want to.
+    """
+
+    def __init__(self, client: LLMClient, cache: ResponseCache | None = None) -> None:
+        self._client = client
+        # `cache or ResponseCache()` would discard an *empty* cache (it is
+        # falsy because it defines __len__), so test for None explicitly.
+        self.cache = cache if cache is not None else ResponseCache()
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        cache_key_model = model or getattr(self._client, "default_model", "default")
+        if temperature == 0.0:
+            cached = self.cache.get(cache_key_model, prompt)
+            if cached is not None:
+                return LLMResponse(
+                    text=cached.text,
+                    model=cached.model,
+                    usage=Usage(),
+                    finish_reason=cached.finish_reason,
+                    confidence=cached.confidence,
+                    metadata={**cached.metadata, "cache_hit": True},
+                )
+        response = self._client.complete(
+            prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+        if temperature == 0.0:
+            self.cache.put(cache_key_model, prompt, response)
+        return response

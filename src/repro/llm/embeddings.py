@@ -1,0 +1,99 @@
+"""Deterministic text embeddings.
+
+The paper uses OpenAI's ``text-embedding-ada-002`` to find the k nearest
+neighbors of each citation (Table 3).  Offline we substitute a character
+n-gram hashing embedder: each n-gram is hashed into one of ``dimensions``
+buckets and the bucket counts are L2-normalised.  Near-duplicate strings share
+most of their n-grams, so they land close together in L2 distance — the only
+property the neighbor-augmentation step needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.config import DEFAULT_EMBEDDING_MODEL
+from repro.tokenizer.cost import Usage
+from repro.tokenizer.simple import SimpleTokenizer
+
+
+def _bucket(ngram: str, dimensions: int) -> int:
+    """Stable bucket index of an n-gram (independent of PYTHONHASHSEED)."""
+    digest = hashlib.md5(ngram.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % dimensions
+
+
+class HashingEmbedder:
+    """Character n-gram hashing embedder with an embedding-API-like surface.
+
+    Args:
+        dimensions: embedding dimensionality.
+        ngram_sizes: which character n-gram lengths to hash.
+        model: model name reported in usage records.
+    """
+
+    def __init__(
+        self,
+        dimensions: int = 256,
+        ngram_sizes: tuple[int, ...] = (3, 4),
+        model: str = DEFAULT_EMBEDDING_MODEL,
+    ) -> None:
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        if not ngram_sizes:
+            raise ValueError("ngram_sizes must not be empty")
+        self.dimensions = dimensions
+        self.ngram_sizes = tuple(ngram_sizes)
+        self.model = model
+        self.tokenizer = SimpleTokenizer()
+        self.usage = Usage()
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed a single string into a unit-norm vector."""
+        vector = np.zeros(self.dimensions, dtype=np.float64)
+        normalised = " ".join(text.lower().split())
+        padded = f" {normalised} "
+        for size in self.ngram_sizes:
+            if len(padded) < size:
+                continue
+            for start in range(len(padded) - size + 1):
+                vector[_bucket(padded[start : start + size], self.dimensions)] += 1.0
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        self.usage.add(Usage(prompt_tokens=self.tokenizer.count(text), calls=1))
+        return vector
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed a batch of strings; rows follow input order."""
+        if not texts:
+            return np.zeros((0, self.dimensions), dtype=np.float64)
+        return np.vstack([self.embed(text) for text in texts])
+
+    @staticmethod
+    def l2_distance(first: np.ndarray, second: np.ndarray) -> float:
+        """Euclidean distance between two embedding vectors."""
+        return float(np.linalg.norm(first - second))
+
+    def nearest_neighbors(self, texts: list[str], k: int) -> dict[int, list[int]]:
+        """Indices of the ``k`` nearest neighbors (by L2) of every text.
+
+        Returns a mapping from text index to a list of neighbor indices,
+        nearest first, excluding the text itself.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        matrix = self.embed_batch(texts)
+        if len(texts) == 0 or k == 0:
+            return {index: [] for index in range(len(texts))}
+        # Pairwise squared distances via the Gram matrix.
+        squared_norms = np.sum(matrix * matrix, axis=1)
+        distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * (matrix @ matrix.T)
+        np.fill_diagonal(distances, np.inf)
+        neighbors: dict[int, list[int]] = {}
+        for index in range(len(texts)):
+            order = np.argsort(distances[index])
+            neighbors[index] = [int(j) for j in order[: min(k, len(texts) - 1)]]
+        return neighbors

@@ -1,0 +1,146 @@
+"""Extracting structured answers from free-text LLM responses.
+
+The paper (Section 4, "Mitigating Prompt Brittleness") points out that turning
+an LLM's free-text response back into a programmatic answer is itself error
+prone: the model may preface its answer, bury it mid-sentence, or contradict
+itself.  These helpers centralise the extraction logic so operators never
+regex over raw responses themselves, and every helper raises
+:class:`ResponseParseError` instead of silently guessing when no answer can be
+recovered.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Sequence
+
+from repro.exceptions import ResponseParseError
+
+_YES_RE = re.compile(r"\byes\b", re.IGNORECASE)
+_NO_RE = re.compile(r"\bno\b", re.IGNORECASE)
+_INT_RE = re.compile(r"-?\d+")
+_NUMBERED_ITEM_RE = re.compile(r"^\s*(?:\d+[.)]\s*|[-*]\s*)(?P<text>.+?)\s*$")
+
+
+def extract_yes_no(text: str) -> bool:
+    """Extract a boolean from a Yes/No style response.
+
+    The first occurrence wins, which mirrors the paper's prompt design of
+    "Start your response with Yes or No" and avoids the chain-of-thought trap
+    where the model ends with the opposite token it started with.
+    """
+    yes = _YES_RE.search(text)
+    no = _NO_RE.search(text)
+    if yes is None and no is None:
+        raise ResponseParseError("no Yes/No answer found in response", text)
+    if yes is None:
+        return False
+    if no is None:
+        return True
+    return yes.start() < no.start()
+
+
+def extract_choice(text: str, options: Sequence[str]) -> str:
+    """Extract the first matching option label (e.g. ``"A"`` / ``"B"``)."""
+    if not options:
+        raise ValueError("options must not be empty")
+    pattern = re.compile(
+        r"\b(" + "|".join(re.escape(option) for option in options) + r")\b"
+    )
+    match = pattern.search(text)
+    if match is None:
+        raise ResponseParseError(
+            f"none of the options {list(options)} found in response", text
+        )
+    return match.group(1)
+
+
+def extract_integer(text: str, *, minimum: int | None = None, maximum: int | None = None) -> int:
+    """Extract the first integer in the response, optionally clamped to a range."""
+    match = _INT_RE.search(text)
+    if match is None:
+        raise ResponseParseError("no integer found in response", text)
+    value = int(match.group(0))
+    if minimum is not None and value < minimum:
+        value = minimum
+    if maximum is not None and value > maximum:
+        value = maximum
+    return value
+
+
+def extract_ratings(text: str, expected: int) -> list[int]:
+    """Extract ``expected`` integer ratings from a (possibly multi-line) response.
+
+    Used by the batched rating strategy where several items are rated in one
+    prompt; the response carries one rating per line.  Raises when fewer than
+    ``expected`` integers can be found.
+    """
+    values = [int(match) for match in _INT_RE.findall(text)]
+    # Multi-line responses often number their lines ("1. 5"); when exactly twice
+    # the expected count is found, assume alternating index/rating pairs.
+    if len(values) == expected * 2:
+        values = values[1::2]
+    if len(values) < expected:
+        raise ResponseParseError(
+            f"expected {expected} ratings but found {len(values)}", text
+        )
+    return values[:expected]
+
+
+def extract_list(text: str) -> list[str]:
+    """Extract a numbered or bulleted list of items from the response.
+
+    Lines that do not look like list entries (greetings, explanations) are
+    skipped, matching how one would post-process a real model's "Sure! Here is
+    the sorted list:" preamble.
+    """
+    items: list[str] = []
+    for line in text.splitlines():
+        match = _NUMBERED_ITEM_RE.match(line)
+        if match:
+            items.append(match.group("text").strip())
+    if not items:
+        raise ResponseParseError("no list items found in response", text)
+    return items
+
+
+def extract_groups(text: str) -> list[list[int]]:
+    """Extract groups of item indices, one comma-separated group per line."""
+    groups: list[list[int]] = []
+    for line in text.splitlines():
+        indices = [int(match) for match in _INT_RE.findall(line)]
+        if indices:
+            groups.append(indices)
+    if not groups:
+        raise ResponseParseError("no index groups found in response", text)
+    return groups
+
+
+def extract_value(text: str) -> str:
+    """Extract a short free-form value (e.g. an imputed attribute).
+
+    Uses the last non-empty line, stripped of common prefixes such as
+    ``"Answer:"`` and surrounding quotes.
+    """
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ResponseParseError("empty response", text)
+    value = lines[-1]
+    for prefix in ("answer:", "value:", "the value is", "prediction:"):
+        if value.lower().startswith(prefix):
+            value = value[len(prefix) :].strip()
+    return value.strip().strip('"').strip("'")
+
+
+def extract_json(text: str) -> dict | list:
+    """Extract the first JSON object or array embedded in the response."""
+    decoder = json.JSONDecoder()
+    for start, char in enumerate(text):
+        if char in "{[":
+            try:
+                value, _ = decoder.raw_decode(text[start:])
+            except json.JSONDecodeError:
+                continue
+            return value
+    raise ResponseParseError("no JSON value found in response", text)

@@ -1,0 +1,107 @@
+"""Retry wrapper: re-ask when a response fails validation.
+
+Section 3.5 notes that the prevailing quality-control practice is to check an
+LLM answer against syntactic constraints and retry the query.  The
+:class:`RetryingClient` makes that pattern a composable wrapper: the caller
+supplies a validator (usually one of the :mod:`repro.llm.parsing` extractors),
+failed responses are retried — optionally at a slightly higher temperature so
+a deterministic failure is not simply repeated — and the usage of every
+attempt is accumulated so cost accounting stays honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError, ResponseParseError
+from repro.llm.base import LLMClient, LLMResponse
+from repro.tokenizer.cost import Usage
+
+
+@dataclass
+class RetryStats:
+    """Counters describing the retry behaviour of one client."""
+
+    attempts: int = 0
+    retries: int = 0
+    failures: int = 0
+
+
+class RetryingClient:
+    """LLM client wrapper that retries responses rejected by a validator.
+
+    Args:
+        client: the wrapped client.
+        validator: callable applied to the response text; it must raise
+            :class:`ResponseParseError` (or return False) to reject a
+            response.  ``None`` disables validation and makes the wrapper a
+            pass-through.
+        max_retries: additional attempts after the first one.
+        retry_temperature: temperature used for retry attempts, so a
+            deterministic temperature-0 failure is not repeated verbatim.
+    """
+
+    def __init__(
+        self,
+        client: LLMClient,
+        *,
+        validator: Callable[[str], Any] | None = None,
+        max_retries: int = 2,
+        retry_temperature: float = 0.7,
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if retry_temperature < 0:
+            raise ConfigurationError("retry_temperature must be non-negative")
+        self._client = client
+        self.validator = validator
+        self.max_retries = max_retries
+        self.retry_temperature = retry_temperature
+        self.stats = RetryStats()
+
+    def _accepted(self, text: str) -> bool:
+        if self.validator is None:
+            return True
+        try:
+            return self.validator(text) is not False
+        except ResponseParseError:
+            return False
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Call the wrapped client, retrying while the validator rejects the text.
+
+        The returned response is the first accepted one (or the last attempt if
+        none was accepted), with the usage of *all* attempts accumulated onto it
+        and retry metadata attached.
+        """
+        accumulated = Usage()
+        response: LLMResponse | None = None
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            attempts += 1
+            self.stats.attempts += 1
+            attempt_temperature = temperature if attempt == 0 else max(
+                temperature, self.retry_temperature
+            )
+            response = self._client.complete(
+                prompt, model=model, temperature=attempt_temperature, max_tokens=max_tokens
+            )
+            accumulated.add(response.usage)
+            if self._accepted(response.text):
+                break
+            if attempt < self.max_retries:
+                self.stats.retries += 1
+            else:
+                self.stats.failures += 1
+        assert response is not None  # at least one attempt always runs
+        response.usage = accumulated
+        response.metadata = {**response.metadata, "attempts": attempts}
+        return response

@@ -1,0 +1,142 @@
+"""Routing calls across multiple LLMs.
+
+Two routing policies from the paper's agenda:
+
+* :class:`CascadeRouter` — ask the cheapest model first and only escalate to a
+  more expensive model when the cheap answer's confidence is below a
+  threshold (Section 3.4 "leveraging LLM and non-LLM approaches"; the same
+  pattern FrugalGPT applies across API tiers).
+* :class:`EnsembleClient` — ask several models the same unit task and expose
+  all responses so a quality-control aggregator (majority vote, Dawid–Skene)
+  can combine them (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.llm.base import LLMClient, LLMResponse
+from repro.tokenizer.cost import Usage
+
+
+@dataclass
+class CascadeTier:
+    """One tier of a cascade: a model name and the client that serves it."""
+
+    model: str
+    client: LLMClient
+
+
+class CascadeRouter:
+    """Cheap-to-expensive cascade with confidence-based escalation.
+
+    The router asks tiers in order.  The first response whose confidence is at
+    least ``confidence_threshold`` is returned; if none qualifies the final
+    tier's response is returned.  The usage of every call made along the way is
+    accumulated onto the returned response, so trackers see the true total
+    cost of the cascade.
+    """
+
+    def __init__(self, tiers: list[CascadeTier], *, confidence_threshold: float = 0.8) -> None:
+        if not tiers:
+            raise ConfigurationError("a cascade needs at least one tier")
+        if not 0.0 <= confidence_threshold <= 1.0:
+            raise ConfigurationError("confidence_threshold must be within [0, 1]")
+        self.tiers = list(tiers)
+        self.confidence_threshold = confidence_threshold
+        self.escalations = 0
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Run the cascade for one prompt.
+
+        The ``model`` argument is ignored — the cascade's tiers decide which
+        models are called — but kept so the router satisfies the
+        :class:`LLMClient` protocol.
+        """
+        del model
+        accumulated = Usage()
+        response: LLMResponse | None = None
+        used_tiers: list[str] = []
+        for position, tier in enumerate(self.tiers):
+            response = tier.client.complete(
+                prompt, model=tier.model, temperature=temperature, max_tokens=max_tokens
+            )
+            accumulated.add(response.usage)
+            used_tiers.append(tier.model)
+            if response.confidence >= self.confidence_threshold:
+                break
+            if position < len(self.tiers) - 1:
+                self.escalations += 1
+        assert response is not None  # guaranteed by the non-empty tier check
+        response.usage = accumulated
+        response.metadata = {**response.metadata, "cascade_tiers": used_tiers}
+        return response
+
+
+@dataclass
+class EnsembleResponse:
+    """All responses from an ensemble call, plus their combined usage."""
+
+    responses: list[LLMResponse]
+    usage: Usage = field(default_factory=Usage)
+
+    @property
+    def texts(self) -> list[str]:
+        return [response.text for response in self.responses]
+
+
+class EnsembleClient:
+    """Fan one prompt out to several (model, client) pairs.
+
+    Unlike the cascade, the ensemble always asks every member; aggregation is
+    the caller's job (see :mod:`repro.quality.voting` and
+    :mod:`repro.quality.dawid_skene`).
+    """
+
+    def __init__(self, members: list[CascadeTier]) -> None:
+        if not members:
+            raise ConfigurationError("an ensemble needs at least one member")
+        self.members = list(members)
+
+    def complete_all(
+        self,
+        prompt: str,
+        *,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> EnsembleResponse:
+        """Ask every member and return all of their responses."""
+        responses = [
+            member.client.complete(
+                prompt, model=member.model, temperature=temperature, max_tokens=max_tokens
+            )
+            for member in self.members
+        ]
+        usage = Usage()
+        for response in responses:
+            usage.add(response.usage)
+        return EnsembleResponse(responses=responses, usage=usage)
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """LLMClient-compatible call returning the first member's response.
+
+        Provided so an ensemble can stand in where a single client is
+        expected; callers that want every response use :meth:`complete_all`.
+        """
+        del model
+        return self.complete_all(prompt, temperature=temperature, max_tokens=max_tokens).responses[0]

@@ -1,0 +1,106 @@
+"""Usage tracking: token counts, dollar cost, and per-model breakdowns.
+
+Every operator threads its LLM calls through a :class:`UsageTracker`, which is
+what lets the declarative engine enforce budgets (Section 3) and lets the
+benchmark harnesses report the prompt/completion token columns of Tables 1
+and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.base import LLMClient, LLMResponse
+from repro.tokenizer.cost import CostModel, CostSummary, Usage
+
+
+@dataclass
+class UsageTracker:
+    """Accumulates usage and cost across many LLM calls.
+
+    Attributes:
+        cost_model: prices used to convert token usage to dollars; optional —
+            without it the tracker still counts tokens and calls.
+    """
+
+    cost_model: CostModel | None = None
+    _by_model: dict[str, Usage] = field(default_factory=dict)
+
+    def record(self, response: LLMResponse) -> None:
+        """Record the usage of one response."""
+        usage = self._by_model.setdefault(response.model, Usage())
+        usage.add(response.usage)
+
+    def record_usage(self, model: str, usage: Usage) -> None:
+        """Record usage directly (e.g. for embedding calls)."""
+        self._by_model.setdefault(model, Usage()).add(usage)
+
+    @property
+    def usage(self) -> Usage:
+        """Total usage across every model."""
+        total = Usage()
+        for usage in self._by_model.values():
+            total.add(usage)
+        return total
+
+    @property
+    def prompt_tokens(self) -> int:
+        return self.usage.prompt_tokens
+
+    @property
+    def completion_tokens(self) -> int:
+        return self.usage.completion_tokens
+
+    @property
+    def calls(self) -> int:
+        return self.usage.calls
+
+    def cost(self) -> float:
+        """Total dollar cost; zero when no cost model is attached."""
+        if self.cost_model is None:
+            return 0.0
+        return sum(
+            self.cost_model.cost(model, usage)
+            for model, usage in self._by_model.items()
+            if self.cost_model.has_model(model)
+        )
+
+    def summary(self) -> CostSummary:
+        """Per-model usage and dollar breakdown."""
+        dollars = {}
+        if self.cost_model is not None:
+            dollars = {
+                model: self.cost_model.cost(model, usage)
+                for model, usage in self._by_model.items()
+                if self.cost_model.has_model(model)
+            }
+        return CostSummary(
+            by_model={model: usage.copy() for model, usage in self._by_model.items()},
+            dollars_by_model=dollars,
+        )
+
+    def reset(self) -> None:
+        """Forget all recorded usage."""
+        self._by_model.clear()
+
+
+class TrackedClient:
+    """LLM client wrapper that records every call into a :class:`UsageTracker`."""
+
+    def __init__(self, client: LLMClient, tracker: UsageTracker) -> None:
+        self._client = client
+        self.tracker = tracker
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        response = self._client.complete(
+            prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+        self.tracker.record(response)
+        return response

@@ -1,0 +1,26 @@
+"""Evaluation metrics used by the case studies and benchmarks."""
+
+from repro.metrics.classification import (
+    BinaryConfusion,
+    accuracy,
+    confusion_from_pairs,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.metrics.clustering import adjusted_rand_index, pairwise_cluster_f1
+from repro.metrics.ranking import kendall_tau_b, ranking_alignment, spearman_rho
+
+__all__ = [
+    "BinaryConfusion",
+    "accuracy",
+    "adjusted_rand_index",
+    "confusion_from_pairs",
+    "f1_score",
+    "kendall_tau_b",
+    "pairwise_cluster_f1",
+    "precision",
+    "ranking_alignment",
+    "recall",
+    "spearman_rho",
+]

@@ -1,0 +1,112 @@
+"""Binary-classification metrics (precision, recall, F1) and exact-match accuracy.
+
+Used by the entity-resolution case study (Table 3 reports F1 / recall /
+precision of duplicate detection) and the imputation case study (Table 4
+reports exact-match accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+
+@dataclass
+class BinaryConfusion:
+    """Counts of a binary confusion matrix."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    def add(self, predicted: bool, actual: bool) -> None:
+        """Record one prediction/label pair."""
+        if predicted and actual:
+            self.true_positives += 1
+        elif predicted and not actual:
+            self.false_positives += 1
+        elif not predicted and actual:
+            self.false_negatives += 1
+        else:
+            self.true_negatives += 1
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positives + self.true_negatives) / self.total if self.total else 0.0
+
+
+def confusion_from_pairs(
+    predictions: Iterable[bool], labels: Iterable[bool]
+) -> BinaryConfusion:
+    """Build a confusion matrix from parallel prediction/label iterables."""
+    confusion = BinaryConfusion()
+    predictions = list(predictions)
+    labels = list(labels)
+    if len(predictions) != len(labels):
+        raise ValueError("predictions and labels must have the same length")
+    for predicted, actual in zip(predictions, labels):
+        confusion.add(bool(predicted), bool(actual))
+    return confusion
+
+
+def precision(predictions: Iterable[bool], labels: Iterable[bool]) -> float:
+    """Precision of boolean predictions against boolean labels."""
+    return confusion_from_pairs(predictions, labels).precision
+
+
+def recall(predictions: Iterable[bool], labels: Iterable[bool]) -> float:
+    """Recall of boolean predictions against boolean labels."""
+    return confusion_from_pairs(predictions, labels).recall
+
+
+def f1_score(predictions: Iterable[bool], labels: Iterable[bool]) -> float:
+    """F1 score of boolean predictions against boolean labels."""
+    return confusion_from_pairs(predictions, labels).f1
+
+
+def accuracy(
+    predictions: Mapping[Hashable, object], ground_truth: Mapping[Hashable, object]
+) -> float:
+    """Exact-match accuracy of a prediction mapping against a ground-truth mapping.
+
+    String values are compared case-insensitively after stripping whitespace,
+    matching how the paper scores imputed values (and explaining why
+    format-variant answers like "Tom Tom" vs "TomTom" still count as wrong).
+    """
+    if not ground_truth:
+        return 0.0
+
+    def normalise(value: object) -> object:
+        return value.strip().lower() if isinstance(value, str) else value
+
+    correct = sum(
+        1
+        for key, truth in ground_truth.items()
+        if key in predictions and normalise(predictions[key]) == normalise(truth)
+    )
+    return correct / len(ground_truth)

@@ -1,0 +1,81 @@
+"""Clustering / grouping metrics for whole-list entity resolution.
+
+When entity resolution is run as a single grouping task (Example 1.1 of the
+paper), the output is a partition of the records; pairwise F1 and the adjusted
+Rand index compare that partition against the ground-truth entity assignment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.metrics.classification import BinaryConfusion
+
+
+def _pairs_in_clusters(clusters: Iterable[Sequence[Hashable]]) -> set[frozenset[Hashable]]:
+    pairs: set[frozenset[Hashable]] = set()
+    for cluster in clusters:
+        for left, right in combinations(cluster, 2):
+            pairs.add(frozenset((left, right)))
+    return pairs
+
+
+def pairwise_cluster_f1(
+    predicted_clusters: Iterable[Sequence[Hashable]],
+    true_labels: Mapping[Hashable, Hashable],
+) -> BinaryConfusion:
+    """Pairwise precision/recall/F1 of a predicted clustering.
+
+    Every unordered pair of items that co-occurs in a predicted cluster is a
+    positive prediction; every pair sharing a true label is a positive label.
+    """
+    predicted_clusters = [list(cluster) for cluster in predicted_clusters]
+    items = sorted({item for cluster in predicted_clusters for item in cluster} | set(true_labels))
+    predicted_pairs = _pairs_in_clusters(predicted_clusters)
+    confusion = BinaryConfusion()
+    for left, right in combinations(items, 2):
+        predicted = frozenset((left, right)) in predicted_pairs
+        actual = (
+            left in true_labels
+            and right in true_labels
+            and true_labels[left] == true_labels[right]
+        )
+        confusion.add(predicted, actual)
+    return confusion
+
+
+def adjusted_rand_index(
+    predicted_labels: Mapping[Hashable, Hashable],
+    true_labels: Mapping[Hashable, Hashable],
+) -> float:
+    """Adjusted Rand index between two labelings of the same items.
+
+    Items present in only one labeling are ignored.  Returns 1.0 for identical
+    partitions and approximately 0.0 for random ones.
+    """
+    items = sorted(set(predicted_labels) & set(true_labels))
+    if not items:
+        return 0.0
+    n = len(items)
+    contingency: Counter[tuple[Hashable, Hashable]] = Counter(
+        (predicted_labels[item], true_labels[item]) for item in items
+    )
+    predicted_sizes: Counter[Hashable] = Counter(predicted_labels[item] for item in items)
+    true_sizes: Counter[Hashable] = Counter(true_labels[item] for item in items)
+
+    def choose2(value: int) -> float:
+        return value * (value - 1) / 2.0
+
+    sum_cells = sum(choose2(count) for count in contingency.values())
+    sum_predicted = sum(choose2(count) for count in predicted_sizes.values())
+    sum_true = sum(choose2(count) for count in true_sizes.values())
+    total_pairs = choose2(n)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_predicted * sum_true / total_pairs
+    maximum = (sum_predicted + sum_true) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)

@@ -1,0 +1,137 @@
+"""Shared plumbing for operators: results, strategy registries, LLM access.
+
+Every operator extends :class:`BaseOperator`, which owns a tracked LLM client
+(so token/cost accounting is automatic), an optional response cache, and a
+registry of named strategies.  Operator results extend
+:class:`OperatorResult`, which carries the usage and dollar cost alongside the
+task output so benchmarks can report the cost columns of the paper's tables
+without extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import UnknownStrategyError
+from repro.llm.base import LLMClient, LLMResponse
+from repro.llm.cache import CachedClient, ResponseCache
+from repro.llm.tracker import TrackedClient, UsageTracker
+from repro.tokenizer.cost import CostModel, Usage
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """Metadata about one registered strategy."""
+
+    name: str
+    description: str
+    granularity: str  # "coarse", "fine", "hybrid", or "proxy"
+
+
+@dataclass
+class OperatorResult:
+    """Base class for operator outputs.
+
+    Attributes:
+        strategy: the strategy that produced this result.
+        usage: total token usage of the LLM calls made.
+        cost: dollar cost of those calls (zero when no cost model is attached).
+        metadata: strategy-specific extras (e.g. number of cache hits).
+    """
+
+    strategy: str
+    usage: Usage = field(default_factory=Usage)
+    cost: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class BaseOperator:
+    """Common infrastructure for declarative operators.
+
+    Args:
+        client: the underlying LLM client (simulated or otherwise).
+        model: default model for this operator's unit tasks.
+        cost_model: optional price table used to convert usage to dollars.
+        use_cache: whether identical temperature-0 prompts are served from a
+            response cache (recommended; several strategies re-ask pairs).
+    """
+
+    #: Operator name used in error messages; subclasses override.
+    operation = "operator"
+
+    def __init__(
+        self,
+        client: LLMClient,
+        *,
+        model: str | None = None,
+        cost_model: CostModel | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.model = model
+        self.tracker = UsageTracker(cost_model=cost_model)
+        inner: LLMClient = CachedClient(client, ResponseCache()) if use_cache else client
+        self._client = TrackedClient(inner, self.tracker)
+        self._strategies: dict[str, Callable[..., Any]] = {}
+        self._strategy_info: dict[str, StrategyInfo] = {}
+        self._register_strategies()
+
+    # -- strategy registry -----------------------------------------------------
+
+    def _register_strategies(self) -> None:
+        """Subclasses register their strategies here."""
+
+    def register_strategy(
+        self,
+        name: str,
+        runner: Callable[..., Any],
+        *,
+        description: str = "",
+        granularity: str = "fine",
+    ) -> None:
+        """Register a named strategy implemented by ``runner``."""
+        self._strategies[name] = runner
+        self._strategy_info[name] = StrategyInfo(
+            name=name, description=description, granularity=granularity
+        )
+
+    @property
+    def strategies(self) -> list[str]:
+        """Names of the registered strategies."""
+        return sorted(self._strategies)
+
+    def strategy_info(self, name: str) -> StrategyInfo:
+        """Metadata for one strategy."""
+        if name not in self._strategy_info:
+            raise UnknownStrategyError(self.operation, name, self.strategies)
+        return self._strategy_info[name]
+
+    def _strategy(self, name: str) -> Callable[..., Any]:
+        try:
+            return self._strategies[name]
+        except KeyError as exc:
+            raise UnknownStrategyError(self.operation, name, self.strategies) from exc
+
+    # -- LLM access --------------------------------------------------------------
+
+    def _complete(
+        self, prompt: str, *, model: str | None = None, temperature: float = 0.0
+    ) -> LLMResponse:
+        """Issue one tracked (and possibly cached) LLM call."""
+        return self._client.complete(prompt, model=model or self.model, temperature=temperature)
+
+    def _usage_snapshot(self) -> Usage:
+        """Copy of the usage accumulated so far (used to diff per-run usage)."""
+        self._cost_snapshot = self.tracker.cost()
+        return self.tracker.usage
+
+    def _finalize(self, result: OperatorResult, usage_before: Usage) -> None:
+        """Fill in the usage/cost delta accumulated since ``usage_before``."""
+        total = self.tracker.usage
+        result.usage = Usage(
+            prompt_tokens=total.prompt_tokens - usage_before.prompt_tokens,
+            completion_tokens=total.completion_tokens - usage_before.completion_tokens,
+            calls=total.calls - usage_before.calls,
+        )
+        if self.tracker.cost_model is not None:
+            result.cost = self.tracker.cost() - getattr(self, "_cost_snapshot", 0.0)

@@ -1,0 +1,127 @@
+"""The categorize operator: assign items to a fixed set of categories.
+
+"Categorize" is one of the primitives the paper's Section 3 lists alongside
+sort, filter, and resolve.  Unlike :mod:`repro.operators.cluster`, the
+category labels are known in advance; the task per item is a multiple-choice
+question, so the quality-control machinery (self-consistency sampling and
+multi-model voting, Section 3.5) applies directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError, ResponseParseError
+from repro.llm.parsing import extract_choice
+from repro.llm.prompts import categorize_prompt
+from repro.operators.base import BaseOperator, OperatorResult
+from repro.quality.voting import majority_vote
+
+
+@dataclass
+class CategorizeResult(OperatorResult):
+    """Output of a categorization run."""
+
+    assignments: dict[str, str] = field(default_factory=dict)
+    votes_used: int = 0
+
+    def items_in(self, category: str) -> list[str]:
+        """Items assigned to ``category``, in input order."""
+        return [item for item, label in self.assignments.items() if label == category]
+
+
+class CategorizeOperator(BaseOperator):
+    """Assign each item to one of a fixed set of category labels."""
+
+    operation = "categorize"
+
+    def __init__(self, client, categories: Sequence[str], **kwargs) -> None:
+        labels = [str(category) for category in categories]
+        if len(labels) < 2:
+            raise ConfigurationError("need at least two categories")
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError("categories must be distinct")
+        self.categories = labels
+        super().__init__(client, **kwargs)
+
+    def _register_strategies(self) -> None:
+        self.register_strategy(
+            "per_item",
+            self._run_per_item,
+            description="one multiple-choice task per item",
+            granularity="fine",
+        )
+        self.register_strategy(
+            "self_consistency",
+            self._run_self_consistency,
+            description="sample each item several times and majority-vote",
+            granularity="fine",
+        )
+        self.register_strategy(
+            "ensemble_vote",
+            self._run_ensemble_vote,
+            description="ask several models per item and majority-vote",
+            granularity="fine",
+        )
+
+    def run(self, items: Sequence[str], *, strategy: str = "per_item", **kwargs) -> CategorizeResult:
+        """Categorize ``items`` with the named strategy."""
+        item_list = [str(item) for item in items]
+        usage_before = self._usage_snapshot()
+        result: CategorizeResult = self._strategy(strategy)(item_list, **kwargs)
+        result.strategy = strategy
+        self._finalize(result, usage_before)
+        return result
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _ask(self, item: str, model: str | None = None, temperature: float = 0.0) -> str:
+        response = self._complete(
+            categorize_prompt(item, self.categories), model=model, temperature=temperature
+        )
+        try:
+            return extract_choice(response.text, self.categories)
+        except ResponseParseError:
+            return self.categories[0]
+
+    # -- strategies ------------------------------------------------------------------
+
+    def _run_per_item(self, items: list[str]) -> CategorizeResult:
+        assignments = {item: self._ask(item, self.model) for item in items}
+        return CategorizeResult(
+            strategy="per_item", assignments=assignments, votes_used=len(items)
+        )
+
+    def _run_self_consistency(
+        self, items: list[str], *, n_samples: int = 3, temperature: float = 0.7
+    ) -> CategorizeResult:
+        if n_samples < 1:
+            raise ConfigurationError("n_samples must be at least 1")
+        assignments: dict[str, str] = {}
+        votes_used = 0
+        for item in items:
+            samples = [
+                self._ask(item, self.model, temperature=temperature) for _ in range(n_samples)
+            ]
+            votes_used += n_samples
+            assignments[item] = str(majority_vote(samples).winner)
+        return CategorizeResult(
+            strategy="self_consistency", assignments=assignments, votes_used=votes_used
+        )
+
+    def _run_ensemble_vote(
+        self, items: list[str], *, models: Sequence[str] | None = None
+    ) -> CategorizeResult:
+        voter_models = list(models or ([self.model] if self.model else []))
+        if len(voter_models) < 2:
+            raise ConfigurationError("ensemble_vote needs at least two models")
+        assignments: dict[str, str] = {}
+        votes_used = 0
+        for item in items:
+            samples = [self._ask(item, model) for model in voter_models]
+            votes_used += len(samples)
+            assignments[item] = str(majority_vote(samples).winner)
+        return CategorizeResult(
+            strategy="ensemble_vote", assignments=assignments, votes_used=votes_used
+        )

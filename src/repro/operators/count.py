@@ -1,0 +1,88 @@
+"""The count operator (paper Section 3.1, citing "Counting with the Crowd").
+
+Counting how many items satisfy a predicate admits the same coarse/fine
+decomposition as sorting:
+
+* ``estimate`` — coarse "eyeballing": split the items into chunks, ask the LLM
+  to estimate the satisfying count per chunk, and sum the estimates.  O(n / chunk)
+  prompts, each answered approximately.
+* ``per_item`` — fine-grained: one predicate-check task per item, count the
+  "Yes" answers.  O(n) prompts, each answered accurately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import DatasetError, ResponseParseError
+from repro.llm.parsing import extract_integer, extract_yes_no
+from repro.llm.prompts import estimate_count_prompt, predicate_check_prompt
+from repro.operators.base import BaseOperator, OperatorResult
+
+
+@dataclass
+class CountResult(OperatorResult):
+    """Output of a count run."""
+
+    count: int = 0
+    per_item: dict[str, bool] | None = None
+
+
+class CountOperator(BaseOperator):
+    """Count the items satisfying a natural-language predicate."""
+
+    operation = "count"
+
+    def __init__(self, client, predicate: str, **kwargs) -> None:
+        self.predicate = predicate
+        super().__init__(client, **kwargs)
+
+    def _register_strategies(self) -> None:
+        self.register_strategy(
+            "estimate",
+            self._run_estimate,
+            description="chunked approximate counts",
+            granularity="coarse",
+        )
+        self.register_strategy(
+            "per_item",
+            self._run_per_item,
+            description="one predicate check per item",
+            granularity="fine",
+        )
+
+    def run(self, items: Sequence[str], *, strategy: str = "per_item", **kwargs) -> CountResult:
+        """Count the items of ``items`` satisfying the operator's predicate."""
+        item_list = [str(item) for item in items]
+        usage_before = self._usage_snapshot()
+        result: CountResult = self._strategy(strategy)(item_list, **kwargs)
+        result.strategy = strategy
+        self._finalize(result, usage_before)
+        return result
+
+    def _run_estimate(self, items: list[str], *, chunk_size: int = 20) -> CountResult:
+        if chunk_size < 1:
+            raise DatasetError("chunk_size must be at least 1")
+        total = 0
+        for start in range(0, len(items), chunk_size):
+            chunk = items[start : start + chunk_size]
+            response = self._complete(estimate_count_prompt(chunk, self.predicate))
+            try:
+                estimate = extract_integer(response.text, minimum=0, maximum=len(chunk))
+            except ResponseParseError:
+                estimate = 0
+            total += estimate
+        return CountResult(strategy="estimate", count=total)
+
+    def _run_per_item(self, items: list[str]) -> CountResult:
+        per_item: dict[str, bool] = {}
+        for item in items:
+            response = self._complete(predicate_check_prompt(item, self.predicate))
+            try:
+                per_item[item] = extract_yes_no(response.text)
+            except ResponseParseError:
+                per_item[item] = False
+        return CountResult(
+            strategy="per_item", count=sum(per_item.values()), per_item=per_item
+        )

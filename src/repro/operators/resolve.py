@@ -1,0 +1,313 @@
+"""The entity-resolution operator (paper Sections 1, 3.3, 3.4).
+
+Two entry points:
+
+* :meth:`ResolveOperator.resolve` — cluster a list of records into duplicate
+  groups.  Strategies: the coarse ``single_prompt`` grouping task, the fine
+  ``pairwise`` all-pairs approach, and ``blocked_pairwise`` which only asks
+  the LLM about embedding-blocked candidate pairs.
+* :meth:`ResolveOperator.judge_pairs` — answer a set of labelled duplicate
+  questions (the Table 3 setting).  Strategies: the ``pairwise`` baseline, the
+  ``transitive`` augmentation that adds k-NN neighbor comparisons and flips
+  "No" answers connected through the match graph, and the ``proxy_hybrid``
+  scheme that answers easy pairs with a similarity proxy and asks the LLM only
+  about the confusing band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.consistency.transitivity import MatchGraph
+from repro.exceptions import DatasetError, ResponseParseError, UnknownStrategyError
+from repro.llm.embeddings import HashingEmbedder
+from repro.llm.parsing import extract_groups, extract_yes_no
+from repro.llm.prompts import duplicate_check_prompt, group_records_prompt
+from repro.operators.base import BaseOperator, OperatorResult
+from repro.proxies.blocking import EmbeddingBlocker
+from repro.proxies.classifier import SimilarityMatchProxy
+
+
+@dataclass
+class ResolveResult(OperatorResult):
+    """Output of a full clustering run: groups of record indices."""
+
+    clusters: list[list[int]] = field(default_factory=list)
+
+
+@dataclass
+class PairJudgment:
+    """Judgment for one queried pair."""
+
+    left: str
+    right: str
+    is_duplicate: bool
+    source: str  # "llm", "transitivity", or "proxy"
+
+
+@dataclass
+class PairJudgmentResult(OperatorResult):
+    """Output of a pair-judgment run."""
+
+    judgments: list[PairJudgment] = field(default_factory=list)
+
+    @property
+    def decisions(self) -> list[bool]:
+        return [judgment.is_duplicate for judgment in self.judgments]
+
+
+class ResolveOperator(BaseOperator):
+    """Entity resolution over textual records."""
+
+    operation = "resolve"
+
+    def __init__(self, client, *, embedder: HashingEmbedder | None = None, **kwargs) -> None:
+        self.embedder = embedder or HashingEmbedder()
+        super().__init__(client, **kwargs)
+
+    def _register_strategies(self) -> None:
+        self.register_strategy(
+            "single_prompt",
+            self._resolve_single_prompt,
+            description="group every record in one prompt",
+            granularity="coarse",
+        )
+        self.register_strategy(
+            "pairwise",
+            self._resolve_pairwise,
+            description="one duplicate-check task per record pair",
+            granularity="fine",
+        )
+        self.register_strategy(
+            "blocked_pairwise",
+            self._resolve_blocked_pairwise,
+            description="duplicate checks only for embedding-blocked candidate pairs",
+            granularity="hybrid",
+        )
+
+    # -- full clustering -----------------------------------------------------------
+
+    def resolve(self, records: Sequence[str], *, strategy: str = "pairwise", **kwargs) -> ResolveResult:
+        """Cluster ``records`` into duplicate groups using the named strategy."""
+        record_list = [str(record) for record in records]
+        if len(record_list) != len(set(record_list)):
+            raise DatasetError("records must be unique strings")
+        usage_before = self._usage_snapshot()
+        result: ResolveResult = self._strategy(strategy)(record_list, **kwargs)
+        result.strategy = strategy
+        self._finalize(result, usage_before)
+        return result
+
+    def _resolve_single_prompt(self, records: list[str]) -> ResolveResult:
+        response = self._complete(group_records_prompt(records))
+        try:
+            groups = extract_groups(response.text)
+        except ResponseParseError:
+            groups = [[index] for index in range(len(records))]
+        covered: set[int] = set()
+        clusters: list[list[int]] = []
+        for group in groups:
+            valid = [index for index in group if 0 <= index < len(records) and index not in covered]
+            if valid:
+                clusters.append(valid)
+                covered.update(valid)
+        clusters.extend([[index] for index in range(len(records)) if index not in covered])
+        return ResolveResult(strategy="single_prompt", clusters=clusters)
+
+    def _ask_duplicate(self, left: str, right: str) -> bool:
+        response = self._complete(duplicate_check_prompt(left, right))
+        try:
+            return extract_yes_no(response.text)
+        except ResponseParseError:
+            return False
+
+    def _clusters_from_graph(self, records: list[str], graph: MatchGraph) -> list[list[int]]:
+        index_of = {record: index for index, record in enumerate(records)}
+        clusters = [
+            sorted(index_of[record] for record in component) for component in graph.components()
+        ]
+        return sorted(clusters)
+
+    def _resolve_pairwise(self, records: list[str]) -> ResolveResult:
+        graph = MatchGraph()
+        for record in records:
+            graph.add_node(record)
+        for i in range(len(records)):
+            for j in range(i + 1, len(records)):
+                if self._ask_duplicate(records[i], records[j]):
+                    graph.add_match(records[i], records[j])
+                else:
+                    graph.add_non_match(records[i], records[j])
+        return ResolveResult(strategy="pairwise", clusters=self._clusters_from_graph(records, graph))
+
+    def _resolve_blocked_pairwise(self, records: list[str], *, block_k: int = 5) -> ResolveResult:
+        blocker = EmbeddingBlocker(embedder=self.embedder, k=block_k)
+        blocking = blocker.block(records)
+        graph = MatchGraph()
+        for record in records:
+            graph.add_node(record)
+        for i, j in blocking.candidate_pairs:
+            if self._ask_duplicate(records[i], records[j]):
+                graph.add_match(records[i], records[j])
+            else:
+                graph.add_non_match(records[i], records[j])
+        result = ResolveResult(
+            strategy="blocked_pairwise", clusters=self._clusters_from_graph(records, graph)
+        )
+        result.metadata["candidate_pairs"] = blocking.n_candidates
+        result.metadata["all_pairs"] = len(records) * (len(records) - 1) // 2
+        return result
+
+    # -- labelled pair judgments (Table 3) -------------------------------------------
+
+    def judge_pairs(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        *,
+        strategy: str = "pairwise",
+        corpus: Sequence[str] | None = None,
+        neighbors_k: int = 1,
+        proxy: SimilarityMatchProxy | None = None,
+    ) -> PairJudgmentResult:
+        """Judge whether each queried pair is a duplicate.
+
+        Args:
+            pairs: the (left, right) record-text pairs to judge.
+            strategy: ``"pairwise"``, ``"transitive"``, or ``"proxy_hybrid"``.
+            corpus: for ``"transitive"``, the full record collection from which
+                embedding nearest neighbors are drawn (defaults to the records
+                appearing in ``pairs``).
+            neighbors_k: the k of the k-NN augmentation (the paper's k=1, 2).
+            proxy: for ``"proxy_hybrid"``, the similarity proxy; a default
+                two-threshold Jaccard proxy is used when omitted.
+        """
+        pair_list = [(str(left), str(right)) for left, right in pairs]
+        usage_before = self._usage_snapshot()
+        if strategy == "pairwise":
+            result = self._judge_pairwise(pair_list)
+        elif strategy == "transitive":
+            result = self._judge_transitive(pair_list, corpus=corpus, neighbors_k=neighbors_k)
+        elif strategy == "proxy_hybrid":
+            result = self._judge_proxy_hybrid(pair_list, proxy=proxy)
+        else:
+            raise UnknownStrategyError(
+                self.operation, strategy, ["pairwise", "transitive", "proxy_hybrid"]
+            )
+        result.strategy = strategy
+        self._finalize(result, usage_before)
+        return result
+
+    def _judge_pairwise(self, pairs: list[tuple[str, str]]) -> PairJudgmentResult:
+        judgments = [
+            PairJudgment(left=left, right=right, is_duplicate=self._ask_duplicate(left, right), source="llm")
+            for left, right in pairs
+        ]
+        return PairJudgmentResult(strategy="pairwise", judgments=judgments)
+
+    def _judge_transitive(
+        self,
+        pairs: list[tuple[str, str]],
+        *,
+        corpus: Sequence[str] | None,
+        neighbors_k: int,
+    ) -> PairJudgmentResult:
+        """The Table 3 strategy: k-NN-augmented comparisons plus transitivity.
+
+        With ``neighbors_k == 0`` this reduces to the plain pairwise baseline.
+        """
+        if neighbors_k < 0:
+            raise DatasetError("neighbors_k must be non-negative")
+        corpus_texts = list(corpus) if corpus is not None else sorted(
+            {text for pair in pairs for text in pair}
+        )
+        text_index = {text: position for position, text in enumerate(corpus_texts)}
+
+        neighbor_map: dict[int, list[int]] = {}
+        if neighbors_k > 0:
+            neighbor_map = self.embedder.nearest_neighbors(corpus_texts, neighbors_k)
+
+        graph = MatchGraph()
+        direct_answer: dict[frozenset[str], bool] = {}
+
+        def judge(left: str, right: str) -> bool:
+            key = frozenset((left, right))
+            if key not in direct_answer:
+                answer = self._ask_duplicate(left, right)
+                direct_answer[key] = answer
+                if answer:
+                    graph.add_match(left, right)
+                else:
+                    graph.add_non_match(left, right)
+            return direct_answer[key]
+
+        judgments: list[PairJudgment] = []
+        for left, right in pairs:
+            # Judge the anchor pair first, in its original orientation, so the
+            # k = 0 configuration reproduces the plain pairwise baseline exactly.
+            judge(left, right)
+            # Build the comparison group: the two anchors plus their k nearest
+            # neighbors in the corpus, then judge every pair within the group.
+            group = {left, right}
+            if neighbors_k > 0:
+                for anchor in (left, right):
+                    anchor_index = text_index.get(anchor)
+                    if anchor_index is None:
+                        continue
+                    group.update(
+                        corpus_texts[neighbor] for neighbor in neighbor_map.get(anchor_index, [])
+                    )
+            members = sorted(group)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    judge(members[i], members[j])
+            direct = direct_answer[frozenset((left, right))]
+            if direct:
+                judgments.append(
+                    PairJudgment(left=left, right=right, is_duplicate=True, source="llm")
+                )
+            elif graph.connected(left, right):
+                # The Section 3.3 flip: a "No" contradicted by a Yes-path.
+                judgments.append(
+                    PairJudgment(left=left, right=right, is_duplicate=True, source="transitivity")
+                )
+            else:
+                judgments.append(
+                    PairJudgment(left=left, right=right, is_duplicate=False, source="llm")
+                )
+        result = PairJudgmentResult(strategy="transitive", judgments=judgments)
+        result.metadata["unique_llm_pairs"] = len(direct_answer)
+        result.metadata["flipped"] = sum(
+            1 for judgment in judgments if judgment.source == "transitivity"
+        )
+        return result
+
+    def _judge_proxy_hybrid(
+        self, pairs: list[tuple[str, str]], *, proxy: SimilarityMatchProxy | None
+    ) -> PairJudgmentResult:
+        """Answer easy pairs with a similarity proxy, the rest with the LLM."""
+        proxy = proxy or SimilarityMatchProxy()
+        judgments: list[PairJudgment] = []
+        llm_pairs = 0
+        for left, right in pairs:
+            decision = proxy.decide(left, right)
+            if decision.abstained:
+                llm_pairs += 1
+                judgments.append(
+                    PairJudgment(
+                        left=left,
+                        right=right,
+                        is_duplicate=self._ask_duplicate(left, right),
+                        source="llm",
+                    )
+                )
+            else:
+                judgments.append(
+                    PairJudgment(
+                        left=left, right=right, is_duplicate=bool(decision.label), source="proxy"
+                    )
+                )
+        result = PairJudgmentResult(strategy="proxy_hybrid", judgments=judgments)
+        result.metadata["llm_pairs"] = llm_pairs
+        result.metadata["proxy_pairs"] = len(pairs) - llm_pairs
+        return result

@@ -1,0 +1,72 @@
+"""Embedding-based blocking for entity resolution.
+
+Comparing every pair of records is O(n²) LLM calls; blocking restricts
+comparisons to pairs that are plausibly duplicates.  The paper's Table 3 uses
+embedding nearest neighbors to *augment* the labelled pair set with extra
+comparisons; the same machinery doubles as a classic blocker that prunes
+obvious non-matches before any LLM is consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.embeddings import HashingEmbedder
+
+
+@dataclass
+class BlockingResult:
+    """Candidate pairs surviving the blocking step."""
+
+    candidate_pairs: list[tuple[int, int]]
+    neighbors: dict[int, list[int]]
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidate_pairs)
+
+
+class EmbeddingBlocker:
+    """Nearest-neighbor blocker over text embeddings.
+
+    Args:
+        embedder: the embedding model; defaults to the deterministic
+            :class:`HashingEmbedder` analogue of text-embedding-ada-002.
+        k: number of nearest neighbors that form candidate pairs per record.
+    """
+
+    def __init__(self, *, embedder: HashingEmbedder | None = None, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.embedder = embedder or HashingEmbedder()
+        self.k = k
+
+    def block(self, texts: list[str]) -> BlockingResult:
+        """Return candidate pairs (i < j) whose members are mutual near neighbors."""
+        neighbors = self.embedder.nearest_neighbors(texts, self.k)
+        pairs: set[tuple[int, int]] = set()
+        for index, neighbor_list in neighbors.items():
+            for neighbor in neighbor_list:
+                pairs.add((min(index, neighbor), max(index, neighbor)))
+        return BlockingResult(candidate_pairs=sorted(pairs), neighbors=neighbors)
+
+    def neighbor_pairs_for(
+        self, texts: list[str], anchor_indices: tuple[int, int], k: int
+    ) -> list[tuple[int, int]]:
+        """All pairs among two anchors and their k nearest neighbors.
+
+        This is the Table 3 augmentation: for a labelled question about records
+        A and B, take the k nearest neighbors of each and compare every pair
+        within the combined set (the paper's "(2k+2 choose 2) pairs").
+        """
+        neighbors = self.embedder.nearest_neighbors(texts, k)
+        left, right = anchor_indices
+        group = {left, right}
+        group.update(neighbors.get(left, []))
+        group.update(neighbors.get(right, []))
+        members = sorted(group)
+        return [
+            (members[i], members[j])
+            for i in range(len(members))
+            for j in range(i + 1, len(members))
+        ]

@@ -1,0 +1,89 @@
+"""Confidence calibration diagnostics.
+
+The paper notes that debiasing / calibrating LLM answers, as is routinely done
+for crowd answers, remains an open problem.  This module provides the standard
+diagnostics — reliability bins and expected calibration error — over
+(confidence, correctness) pairs so experiments can report how trustworthy a
+model's self-reported confidence is, plus a simple temperature-style rescaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import QualityControlError
+
+
+@dataclass
+class CalibrationBin:
+    """One reliability-diagram bin."""
+
+    lower: float
+    upper: float
+    count: int = 0
+    mean_confidence: float = 0.0
+    empirical_accuracy: float = 0.0
+
+
+@dataclass
+class CalibrationReport:
+    """Reliability bins plus the expected calibration error."""
+
+    bins: list[CalibrationBin] = field(default_factory=list)
+    expected_calibration_error: float = 0.0
+    sample_size: int = 0
+
+
+def calibration_report(
+    confidences: Sequence[float],
+    correct: Sequence[bool],
+    *,
+    n_bins: int = 10,
+) -> CalibrationReport:
+    """Build a reliability diagram over (confidence, correctness) pairs."""
+    if len(confidences) != len(correct):
+        raise QualityControlError("confidences and correctness must align")
+    if not confidences:
+        raise QualityControlError("cannot calibrate over zero observations")
+    if n_bins < 1:
+        raise QualityControlError("need at least one bin")
+    bins = [
+        CalibrationBin(lower=index / n_bins, upper=(index + 1) / n_bins) for index in range(n_bins)
+    ]
+    totals = [0.0] * n_bins
+    hits = [0.0] * n_bins
+    for confidence, is_correct in zip(confidences, correct):
+        clamped = min(max(confidence, 0.0), 1.0)
+        index = min(n_bins - 1, int(clamped * n_bins))
+        bins[index].count += 1
+        totals[index] += clamped
+        hits[index] += 1.0 if is_correct else 0.0
+    ece = 0.0
+    total_count = len(confidences)
+    for index, bin_ in enumerate(bins):
+        if bin_.count == 0:
+            continue
+        bin_.mean_confidence = totals[index] / bin_.count
+        bin_.empirical_accuracy = hits[index] / bin_.count
+        ece += (bin_.count / total_count) * abs(bin_.mean_confidence - bin_.empirical_accuracy)
+    return CalibrationReport(bins=bins, expected_calibration_error=ece, sample_size=total_count)
+
+
+def expected_calibration_error(
+    confidences: Sequence[float], correct: Sequence[bool], *, n_bins: int = 10
+) -> float:
+    """Expected calibration error of (confidence, correctness) pairs."""
+    return calibration_report(confidences, correct, n_bins=n_bins).expected_calibration_error
+
+
+def rescale_confidence(confidence: float, *, scale: float) -> float:
+    """Shrink (scale < 1) or sharpen (scale > 1) a confidence towards/away from 0.5.
+
+    A crude but effective post-hoc recalibration: overconfident models benefit
+    from ``scale < 1``.
+    """
+    if scale <= 0:
+        raise QualityControlError("scale must be positive")
+    centered = (min(max(confidence, 0.0), 1.0) - 0.5) * scale
+    return min(1.0, max(0.0, 0.5 + centered))

@@ -1,0 +1,85 @@
+"""Validation-set accuracy estimation.
+
+The first quality-control question is "how accurate is this LLM on this type
+of task?".  With a labelled validation sample the answer is the fraction
+correct, plus a confidence interval that tells the strategy optimizer how much
+to trust an estimate built from only a handful of labels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, TypeVar
+
+from repro.exceptions import QualityControlError
+
+Item = TypeVar("Item")
+Answer = TypeVar("Answer")
+
+
+@dataclass(frozen=True)
+class AccuracyEstimate:
+    """Point estimate and interval for a task accuracy.
+
+    Attributes:
+        accuracy: fraction of validation items answered correctly.
+        lower: lower bound of the 95% Wilson interval.
+        upper: upper bound of the 95% Wilson interval.
+        sample_size: number of validation items used.
+    """
+
+    accuracy: float
+    lower: float
+    upper: float
+    sample_size: int
+
+
+def wilson_interval(successes: int, trials: int, *, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise QualityControlError("cannot build an interval from zero trials")
+    if successes < 0 or successes > trials:
+        raise QualityControlError("successes must be between 0 and trials")
+    proportion = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (proportion + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(proportion * (1 - proportion) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def estimate_accuracy(
+    items: Iterable[Item],
+    *,
+    answer: Callable[[Item], Answer],
+    ground_truth: Callable[[Item], Answer],
+    equal: Callable[[Answer, Answer], bool] | None = None,
+) -> AccuracyEstimate:
+    """Estimate a task accuracy by running ``answer`` over labelled items.
+
+    Args:
+        items: the validation items.
+        answer: function producing the (LLM) answer for one item.
+        ground_truth: function returning the known correct answer.
+        equal: answer-comparison predicate; defaults to ``==``.
+
+    Returns:
+        An :class:`AccuracyEstimate` with a Wilson 95% interval.
+    """
+    compare = equal or (lambda left, right: left == right)
+    successes = 0
+    trials = 0
+    for item in items:
+        trials += 1
+        if compare(answer(item), ground_truth(item)):
+            successes += 1
+    if trials == 0:
+        raise QualityControlError("validation set is empty")
+    lower, upper = wilson_interval(successes, trials)
+    return AccuracyEstimate(
+        accuracy=successes / trials, lower=lower, upper=upper, sample_size=trials
+    )

@@ -1,0 +1,60 @@
+"""Answer verification follow-ups.
+
+Section 3.5 lists verification — asking the same or another LLM whether a
+proposed answer is correct — as a quality-control step.  The verifier's vote
+is combined with the original answer's confidence to decide whether the
+answer should be retried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ResponseParseError
+from repro.llm.base import LLMClient, LLMResponse
+from repro.llm.parsing import extract_yes_no
+from repro.llm.prompts import verify_answer_prompt
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying one answer.
+
+    Attributes:
+        verified: whether the verifier endorsed the answer.
+        verifier_response: the raw verifier response.
+        combined_confidence: the answer's confidence scaled by the verifier's.
+    """
+
+    verified: bool
+    verifier_response: LLMResponse
+    combined_confidence: float
+
+
+def verify_response(
+    verifier: LLMClient,
+    *,
+    question: str,
+    answer: str,
+    answer_confidence: float = 1.0,
+    model: str | None = None,
+) -> VerificationResult:
+    """Ask ``verifier`` whether ``answer`` is a correct answer to ``question``.
+
+    A verifier response that cannot be parsed as Yes/No counts as a failed
+    verification with low combined confidence, so broken verifier output never
+    silently endorses an answer.
+    """
+    response = verifier.complete(verify_answer_prompt(question, answer), model=model)
+    try:
+        verified = extract_yes_no(response.text)
+    except ResponseParseError:
+        return VerificationResult(
+            verified=False, verifier_response=response, combined_confidence=0.1
+        )
+    combined = answer_confidence * (response.confidence if verified else 1.0 - response.confidence)
+    return VerificationResult(
+        verified=verified,
+        verifier_response=response,
+        combined_confidence=max(0.0, min(1.0, combined)),
+    )

@@ -1,0 +1,67 @@
+"""A small deterministic tokenizer used for token accounting.
+
+Real LLM providers charge per BPE token.  We approximate BPE with a rule that
+is close in aggregate: words are split into chunks of at most four characters,
+and punctuation/whitespace boundaries start new tokens.  The resulting counts
+track the usual "one token is roughly four characters of English" heuristic,
+which is all the cost model needs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_WORD_RE = re.compile(r"\w+|[^\w\s]", re.UNICODE)
+
+#: Maximum number of characters folded into a single token chunk.
+_CHUNK_SIZE = 4
+
+
+def _split_word(word: str) -> list[str]:
+    """Split a single word into chunks of at most ``_CHUNK_SIZE`` characters."""
+    return [word[i : i + _CHUNK_SIZE] for i in range(0, len(word), _CHUNK_SIZE)]
+
+
+@dataclass
+class SimpleTokenizer:
+    """Deterministic whitespace + chunking tokenizer.
+
+    Attributes:
+        chunk_size: maximum characters per token chunk for long words.
+    """
+
+    chunk_size: int = _CHUNK_SIZE
+    _cache: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return the list of tokens for ``text``."""
+        tokens: list[str] = []
+        for piece in _WORD_RE.findall(text):
+            if len(piece) <= self.chunk_size:
+                tokens.append(piece)
+            else:
+                tokens.extend(
+                    piece[i : i + self.chunk_size]
+                    for i in range(0, len(piece), self.chunk_size)
+                )
+        return tokens
+
+    def count(self, text: str) -> int:
+        """Return the number of tokens in ``text`` (memoized)."""
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        n = len(self.tokenize(text))
+        # Bound the memo so pathological callers cannot grow it without limit.
+        if len(self._cache) < 65536:
+            self._cache[text] = n
+        return n
+
+
+_DEFAULT_TOKENIZER = SimpleTokenizer()
+
+
+def count_tokens(text: str) -> int:
+    """Count tokens in ``text`` using the module-level default tokenizer."""
+    return _DEFAULT_TOKENIZER.count(text)

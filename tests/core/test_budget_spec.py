@@ -1,0 +1,105 @@
+"""Tests for budgets and declarative task specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.spec import ImputeSpec, ResolveSpec, SortSpec
+from repro.data.products import generate_restaurant_dataset
+from repro.exceptions import BudgetExceededError, ConfigurationError, SpecError
+
+
+class TestBudget:
+    def test_unlimited_by_default(self):
+        budget = Budget()
+        assert budget.unlimited
+        assert budget.remaining == float("inf")
+        budget.charge(1_000_000.0)  # never raises
+
+    def test_charge_and_remaining(self):
+        budget = Budget(limit=1.0)
+        budget.charge(0.4)
+        assert budget.remaining == pytest.approx(0.6)
+        assert budget.can_afford(0.6)
+        assert not budget.can_afford(0.61)
+
+    def test_exceeding_raises_and_records(self):
+        budget = Budget(limit=0.5)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.charge(0.7)
+        assert excinfo.value.spent == pytest.approx(0.7)
+        assert budget.spent == pytest.approx(0.7)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Budget(limit=-1.0)
+        with pytest.raises(ConfigurationError):
+            Budget(limit=1.0).charge(-0.1)
+
+    def test_reserve_and_absorb(self):
+        budget = Budget(limit=2.0)
+        child = budget.reserve("step-1", 0.5)
+        assert child.limit == pytest.approx(1.0)
+        child.charge(0.8)
+        budget.absorb(child)
+        assert budget.spent == pytest.approx(0.8)
+
+    def test_reserve_from_unlimited_budget(self):
+        child = Budget().reserve("step", 0.5)
+        assert child.unlimited
+
+    def test_invalid_reservation_fraction(self):
+        with pytest.raises(ConfigurationError):
+            Budget(limit=1.0).reserve("step", 0.0)
+
+
+class TestSortSpec:
+    def test_valid_spec(self):
+        SortSpec(items=["a", "b", "c"], criterion="size").validate()
+
+    def test_missing_criterion(self):
+        with pytest.raises(SpecError):
+            SortSpec(items=["a", "b"]).validate()
+
+    def test_too_few_items(self):
+        with pytest.raises(SpecError):
+            SortSpec(items=["a"], criterion="size").validate()
+
+    def test_validation_items_must_be_subset(self):
+        with pytest.raises(SpecError):
+            SortSpec(items=["a", "b"], criterion="size", validation_order=["z"]).validate()
+
+    def test_invalid_budget_and_accuracy(self):
+        with pytest.raises(SpecError):
+            SortSpec(items=["a", "b"], criterion="size", budget_dollars=-1).validate()
+        with pytest.raises(SpecError):
+            SortSpec(items=["a", "b"], criterion="size", accuracy_target=1.5).validate()
+
+
+class TestResolveSpec:
+    def test_valid_with_pairs(self):
+        ResolveSpec(pairs=[("a", "b")]).validate()
+
+    def test_needs_records_or_pairs(self):
+        with pytest.raises(SpecError):
+            ResolveSpec().validate()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(SpecError):
+            ResolveSpec(pairs=[("a", "b")], neighbors_k=-1).validate()
+
+
+class TestImputeSpec:
+    def test_valid_spec(self):
+        data = generate_restaurant_dataset(50, seed=1)
+        ImputeSpec(data=data, n_examples=3).validate()
+
+    def test_missing_data(self):
+        with pytest.raises(SpecError):
+            ImputeSpec().validate()
+
+    def test_negative_examples(self):
+        data = generate_restaurant_dataset(50, seed=1)
+        with pytest.raises(SpecError):
+            ImputeSpec(data=data, n_examples=-1).validate()

@@ -1,0 +1,93 @@
+"""Tests for the a-priori cost planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import CostPlanner
+from repro.data.flavors import FLAVORS
+from repro.data.words import random_words
+from repro.exceptions import ConfigurationError
+from repro.llm.registry import default_registry
+from repro.llm.simulated import SimulatedLLM
+from repro.data.flavors import CHOCOLATEY, flavor_oracle
+from repro.operators.sort import SortOperator
+
+
+class TestCostPlannerShapes:
+    def test_empty_items_rejected(self):
+        planner = CostPlanner("sim-gpt-3.5-turbo")
+        with pytest.raises(ConfigurationError):
+            planner.single_prompt([])
+
+    def test_pairwise_calls_are_quadratic(self):
+        planner = CostPlanner("sim-gpt-3.5-turbo")
+        items = list(FLAVORS)
+        assert planner.pairwise(items).calls == len(items) * (len(items) - 1) // 2
+        assert planner.per_item(items).calls == len(items)
+        assert planner.single_prompt(items).calls == 1
+
+    def test_batching_reduces_calls_and_prompt_tokens(self):
+        planner = CostPlanner("sim-gpt-3.5-turbo")
+        items = list(FLAVORS)
+        unbatched = planner.per_item(items, batch_size=1)
+        batched = planner.per_item(items, batch_size=5)
+        assert batched.calls < unbatched.calls
+        assert batched.usage.prompt_tokens < unbatched.usage.prompt_tokens
+
+    def test_invalid_parameters(self):
+        planner = CostPlanner("sim-gpt-3.5-turbo")
+        with pytest.raises(ConfigurationError):
+            planner.per_item(list(FLAVORS), batch_size=0)
+        with pytest.raises(ConfigurationError):
+            planner.pairwise_against(list(FLAVORS), -1)
+
+    def test_cost_ordering_matches_strategy_granularity(self):
+        planner = CostPlanner("sim-gpt-3.5-turbo")
+        items = list(FLAVORS)
+        assert (
+            planner.single_prompt(items).dollars
+            < planner.per_item(items).dollars
+            < planner.pairwise(items).dollars
+        )
+
+    def test_affordable_strategies_filters_and_sorts(self):
+        planner = CostPlanner("sim-gpt-3.5-turbo")
+        items = list(FLAVORS)
+        pairwise_cost = planner.pairwise(items).dollars
+        affordable = planner.affordable_strategies(items, budget_dollars=pairwise_cost / 2)
+        names = [estimate.strategy for estimate in affordable]
+        assert "pairwise" not in names
+        assert names == sorted(
+            names, key=lambda name: [e.strategy for e in affordable].index(name)
+        )
+        dollars = [estimate.dollars for estimate in affordable]
+        assert dollars == sorted(dollars)
+
+    def test_fits_context_detects_oversized_prompts(self):
+        small_context = CostPlanner("sim-small")
+        long_context = CostPlanner("sim-claude-2")
+        # 400 six-word snippets: a few thousand tokens — beyond sim-small's
+        # 2k context but far inside sim-claude-2's 100k window.
+        snippets = [" ".join(random_words(6, seed=index)) for index in range(400)]
+        assert long_context.fits_context(snippets) is True
+        assert small_context.fits_context(snippets) is False
+
+
+class TestPlannerAgainstMeasuredCost:
+    def test_estimates_are_within_a_factor_of_actual_usage(self):
+        """The planner's predictions should land in the right ballpark.
+
+        It only has to be good enough to discard unaffordable strategies, so a
+        factor-of-three agreement with the measured token counts is plenty.
+        """
+        planner = CostPlanner("sim-gpt-3.5-turbo", registry=default_registry())
+        items = list(FLAVORS)
+        operator = SortOperator(
+            SimulatedLLM(flavor_oracle(), seed=7), CHOCOLATEY, model="sim-gpt-3.5-turbo"
+        )
+        measured = operator.run(items, strategy="pairwise")
+        predicted = planner.pairwise(items)
+        assert predicted.calls == measured.usage.calls
+        ratio = predicted.usage.prompt_tokens / measured.usage.prompt_tokens
+        assert 1 / 3 <= ratio <= 3

@@ -1,0 +1,89 @@
+"""Tests for the prompt session and workflow execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.session import PromptSession
+from repro.core.workflow import Workflow
+from repro.data.flavors import CHOCOLATEY, FLAVORS, flavor_oracle
+from repro.exceptions import BudgetExceededError, SpecError
+from repro.llm.prompts import rating_prompt
+from repro.llm.simulated import SimulatedLLM
+
+
+@pytest.fixture()
+def session() -> PromptSession:
+    return PromptSession(SimulatedLLM(flavor_oracle(), seed=81))
+
+
+class TestPromptSession:
+    def test_calls_are_tracked_and_charged(self, session):
+        session.complete(rating_prompt(FLAVORS[0], CHOCOLATEY))
+        assert session.tracker.calls == 1
+        assert session.spent_dollars > 0.0
+
+    def test_cache_deduplicates_identical_calls(self, session):
+        prompt = rating_prompt(FLAVORS[1], CHOCOLATEY)
+        session.complete(prompt)
+        before = session.tracker.usage.total_tokens
+        session.complete(prompt)
+        # The cached call contributes no new tokens.
+        assert session.tracker.usage.total_tokens == before
+        assert session.cache.stats.hits == 1
+
+    def test_budget_enforced(self):
+        budget = Budget(limit=1e-7)
+        session = PromptSession(SimulatedLLM(flavor_oracle(), seed=82), budget=budget)
+        with pytest.raises(BudgetExceededError):
+            for flavor in FLAVORS:
+                session.complete(rating_prompt(flavor, CHOCOLATEY))
+
+    def test_client_view_routes_through_session(self, session):
+        client = session.client()
+        client.complete(rating_prompt(FLAVORS[2], CHOCOLATEY))
+        assert session.tracker.calls == 1
+
+    def test_default_model_from_config(self, session):
+        response = session.complete(rating_prompt(FLAVORS[3], CHOCOLATEY))
+        assert response.model == session.config.chat_model
+
+    def test_reset_usage_keeps_budget(self, session):
+        session.complete(rating_prompt(FLAVORS[4], CHOCOLATEY))
+        spent = session.spent_dollars
+        session.reset_usage()
+        assert session.tracker.calls == 0
+        assert session.spent_dollars == spent
+
+
+class TestWorkflow:
+    def test_steps_run_in_order_and_share_results(self, session):
+        workflow = Workflow("demo")
+        workflow.add_step("first", lambda session_, results: 21)
+        workflow.add_step("second", lambda session_, results: results["first"] * 2)
+        report = workflow.execute(session)
+        assert report.step_order == ["first", "second"]
+        assert report.results["second"] == 42
+
+    def test_llm_usage_is_aggregated(self, session):
+        workflow = Workflow("llm-demo")
+        workflow.add_step(
+            "rate",
+            lambda session_, results: session_.complete(
+                rating_prompt(FLAVORS[0], CHOCOLATEY)
+            ).text,
+        )
+        report = workflow.execute(session)
+        assert report.total_prompt_tokens > 0
+        assert report.total_cost > 0.0
+
+    def test_duplicate_step_names_rejected(self):
+        workflow = Workflow()
+        workflow.add_step("a", lambda session_, results: 1)
+        with pytest.raises(SpecError):
+            workflow.add_step("a", lambda session_, results: 2)
+
+    def test_empty_workflow_rejected(self, session):
+        with pytest.raises(SpecError):
+            Workflow().execute(session)

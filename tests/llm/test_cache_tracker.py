@@ -1,0 +1,95 @@
+"""Tests for the response cache and the usage tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.flavors import CHOCOLATEY, FLAVORS
+from repro.llm.base import LLMResponse
+from repro.llm.cache import CachedClient, ResponseCache
+from repro.llm.prompts import pairwise_comparison_prompt, rating_prompt
+from repro.llm.registry import default_registry
+from repro.llm.tracker import TrackedClient, UsageTracker
+from repro.tokenizer.cost import Usage
+
+
+class TestResponseCache:
+    def test_put_then_get(self):
+        cache = ResponseCache()
+        response = LLMResponse(text="yes", model="m", usage=Usage(10, 2, 1))
+        cache.put("m", "prompt", response)
+        assert cache.get("m", "prompt") is response
+        assert cache.stats.hits == 1
+
+    def test_miss_recorded(self):
+        cache = ResponseCache()
+        assert cache.get("m", "prompt") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_lru_eviction(self):
+        cache = ResponseCache(max_entries=2)
+        for index in range(3):
+            cache.put("m", f"prompt-{index}", LLMResponse(text=str(index), model="m"))
+        assert cache.get("m", "prompt-0") is None  # evicted
+        assert cache.get("m", "prompt-2") is not None
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseCache(max_entries=0)
+
+    def test_clear_resets_stats(self):
+        cache = ResponseCache()
+        cache.put("m", "p", LLMResponse(text="x", model="m"))
+        cache.get("m", "p")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.requests == 0
+
+
+class TestCachedClient:
+    def test_repeated_prompt_served_from_cache(self, flavor_llm):
+        client = CachedClient(flavor_llm)
+        prompt = pairwise_comparison_prompt(FLAVORS[0], FLAVORS[1], CHOCOLATEY)
+        first = client.complete(prompt)
+        second = client.complete(prompt)
+        assert second.metadata.get("cache_hit") is True
+        assert second.usage.total_tokens == 0
+        assert second.text == first.text
+
+    def test_nonzero_temperature_bypasses_cache(self, flavor_llm):
+        client = CachedClient(flavor_llm)
+        prompt = rating_prompt(FLAVORS[0], CHOCOLATEY)
+        client.complete(prompt, temperature=0.7)
+        second = client.complete(prompt, temperature=0.7)
+        assert "cache_hit" not in second.metadata
+
+
+class TestUsageTracker:
+    def test_record_accumulates_per_model(self, flavor_llm):
+        tracker = UsageTracker(cost_model=default_registry().cost_model())
+        client = TrackedClient(flavor_llm, tracker)
+        client.complete(rating_prompt(FLAVORS[0], CHOCOLATEY))
+        client.complete(rating_prompt(FLAVORS[1], CHOCOLATEY), model="sim-claude")
+        assert tracker.calls == 2
+        assert tracker.prompt_tokens > 0
+        summary = tracker.summary()
+        assert set(summary.by_model) == {"sim-gpt-3.5-turbo", "sim-claude"}
+        assert summary.total_dollars == pytest.approx(tracker.cost())
+        assert tracker.cost() > 0.0
+
+    def test_cost_zero_without_cost_model(self, flavor_llm):
+        tracker = UsageTracker()
+        TrackedClient(flavor_llm, tracker).complete(rating_prompt(FLAVORS[0], CHOCOLATEY))
+        assert tracker.cost() == 0.0
+
+    def test_record_usage_directly(self):
+        tracker = UsageTracker()
+        tracker.record_usage("embeddings", Usage(100, 0, 1))
+        assert tracker.usage.prompt_tokens == 100
+
+    def test_reset(self, flavor_llm):
+        tracker = UsageTracker()
+        TrackedClient(flavor_llm, tracker).complete(rating_prompt(FLAVORS[0], CHOCOLATEY))
+        tracker.reset()
+        assert tracker.calls == 0

@@ -1,0 +1,89 @@
+"""Tests for the retry wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ResponseParseError
+from repro.llm.base import LLMResponse
+from repro.llm.retry import RetryingClient
+from repro.tokenizer.cost import Usage
+
+
+class FlakyClient:
+    """Stub client that fails validation for the first ``bad_attempts`` calls."""
+
+    def __init__(self, bad_attempts: int) -> None:
+        self.bad_attempts = bad_attempts
+        self.calls = 0
+
+    def complete(self, prompt, *, model=None, temperature=0.0, max_tokens=None):
+        self.calls += 1
+        text = "garbled ???" if self.calls <= self.bad_attempts else "Yes."
+        return LLMResponse(
+            text=text,
+            model=model or "stub",
+            usage=Usage(prompt_tokens=10, completion_tokens=5, calls=1),
+            metadata={"temperature": temperature},
+        )
+
+
+def yes_no_validator(text: str) -> bool:
+    if "yes" not in text.lower() and "no" not in text.lower():
+        raise ResponseParseError("no yes/no answer", text)
+    return True
+
+
+class TestRetryingClient:
+    def test_passthrough_without_validator(self):
+        client = RetryingClient(FlakyClient(bad_attempts=5))
+        response = client.complete("prompt")
+        assert response.metadata["attempts"] == 1
+        assert client.stats.retries == 0
+
+    def test_retries_until_valid(self):
+        flaky = FlakyClient(bad_attempts=2)
+        client = RetryingClient(flaky, validator=yes_no_validator, max_retries=3)
+        response = client.complete("prompt")
+        assert response.text == "Yes."
+        assert response.metadata["attempts"] == 3
+        assert flaky.calls == 3
+        assert client.stats.retries == 2
+        assert client.stats.failures == 0
+
+    def test_usage_accumulates_across_attempts(self):
+        client = RetryingClient(FlakyClient(bad_attempts=1), validator=yes_no_validator)
+        response = client.complete("prompt")
+        assert response.usage.prompt_tokens == 20
+        assert response.usage.calls == 2
+
+    def test_gives_up_after_max_retries(self):
+        flaky = FlakyClient(bad_attempts=10)
+        client = RetryingClient(flaky, validator=yes_no_validator, max_retries=2)
+        response = client.complete("prompt")
+        assert response.metadata["attempts"] == 3
+        assert client.stats.failures == 1
+        assert "garbled" in response.text
+
+    def test_retry_uses_higher_temperature(self):
+        flaky = FlakyClient(bad_attempts=1)
+        client = RetryingClient(
+            flaky, validator=yes_no_validator, max_retries=1, retry_temperature=0.9
+        )
+        response = client.complete("prompt", temperature=0.0)
+        assert response.metadata["temperature"] == 0.9
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            RetryingClient(FlakyClient(0), max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryingClient(FlakyClient(0), retry_temperature=-0.5)
+
+    def test_validator_returning_false_triggers_retry(self):
+        flaky = FlakyClient(bad_attempts=1)
+        client = RetryingClient(
+            flaky, validator=lambda text: "yes" in text.lower(), max_retries=2
+        )
+        response = client.complete("prompt")
+        assert response.text == "Yes."
+        assert response.metadata["attempts"] == 2

@@ -1,0 +1,77 @@
+"""Tests for the imputation operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.products import generate_buy_dataset
+from repro.exceptions import UnknownStrategyError
+from repro.llm.registry import default_registry
+from repro.llm.simulated import SimulatedLLM
+from repro.operators.impute import ImputeOperator
+
+
+@pytest.fixture()
+def imputer(restaurant_llm):
+    return ImputeOperator(
+        restaurant_llm, model="sim-claude", cost_model=default_registry().cost_model()
+    )
+
+
+class TestImputeStrategies:
+    def test_knn_makes_no_llm_calls(self, imputer, restaurant_data):
+        result = imputer.run(restaurant_data, strategy="knn")
+        assert result.usage.calls == 0
+        assert result.proxy_queries == len(restaurant_data.queries)
+        assert set(result.predictions) == set(restaurant_data.ground_truth)
+
+    def test_llm_only_queries_every_record(self, imputer, restaurant_data):
+        result = imputer.run(restaurant_data, strategy="llm_only")
+        assert result.llm_queries == len(restaurant_data.queries)
+        assert result.usage.calls == len(restaurant_data.queries)
+        assert result.cost > 0.0
+
+    def test_hybrid_splits_queries_between_proxy_and_llm(self, imputer, restaurant_data):
+        result = imputer.run(restaurant_data, strategy="hybrid")
+        assert result.llm_queries + result.proxy_queries == len(restaurant_data.queries)
+        assert 0 < result.llm_queries < len(restaurant_data.queries)
+
+    def test_hybrid_is_cheaper_than_llm_only(self, restaurant_data, restaurant_llm):
+        # Use a fresh operator per strategy so the response cache of one run
+        # does not hide the cost of the other.
+        hybrid = ImputeOperator(restaurant_llm, model="sim-claude").run(
+            restaurant_data, strategy="hybrid"
+        )
+        llm_only = ImputeOperator(restaurant_llm, model="sim-claude").run(
+            restaurant_data, strategy="llm_only"
+        )
+        assert hybrid.usage.prompt_tokens < llm_only.usage.prompt_tokens
+
+    def test_hybrid_at_least_as_accurate_as_llm_only(self, imputer, restaurant_data):
+        hybrid = imputer.run(restaurant_data, strategy="hybrid")
+        llm_only = imputer.run(restaurant_data, strategy="llm_only")
+        assert restaurant_data.accuracy(hybrid.predictions) >= restaurant_data.accuracy(
+            llm_only.predictions
+        ) - 0.05
+
+    def test_examples_increase_cost_and_not_decrease_accuracy(self, imputer, restaurant_data):
+        without = imputer.run(restaurant_data, strategy="llm_only", n_examples=0)
+        with_examples = imputer.run(restaurant_data, strategy="llm_only", n_examples=3)
+        assert with_examples.usage.prompt_tokens > without.usage.prompt_tokens
+        assert restaurant_data.accuracy(with_examples.predictions) >= restaurant_data.accuracy(
+            without.predictions
+        )
+
+    def test_unknown_strategy_raises(self, imputer, restaurant_data):
+        with pytest.raises(UnknownStrategyError):
+            imputer.run(restaurant_data, strategy="magic")
+
+    def test_buy_dataset_end_to_end(self, buy_data):
+        operator = ImputeOperator(SimulatedLLM(buy_data.oracle(), seed=51), model="sim-claude")
+        result = operator.run(buy_data, strategy="hybrid")
+        assert buy_data.accuracy(result.predictions) > 0.5
+
+    def test_custom_k(self, restaurant_data, restaurant_llm):
+        operator = ImputeOperator(restaurant_llm, model="sim-claude", k=5)
+        result = operator.run(restaurant_data, strategy="knn")
+        assert set(result.predictions) == set(restaurant_data.ground_truth)

@@ -1,0 +1,111 @@
+"""Tests for the entity-resolution operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.citations import generate_citation_corpus
+from repro.exceptions import UnknownStrategyError
+from repro.llm.simulated import SimulatedLLM
+from repro.metrics.classification import confusion_from_pairs
+from repro.metrics.clustering import pairwise_cluster_f1
+from repro.operators.resolve import ResolveOperator
+from repro.proxies.classifier import SimilarityMatchProxy
+
+
+@pytest.fixture()
+def resolver(citation_llm):
+    return ResolveOperator(citation_llm, model="sim-gpt-3.5-turbo")
+
+
+def _pairs(citation_corpus):
+    return [(pair.left_text, pair.right_text) for pair in citation_corpus.pairs]
+
+
+def _labels(citation_corpus):
+    return [pair.is_duplicate for pair in citation_corpus.pairs]
+
+
+class TestJudgePairs:
+    def test_pairwise_baseline_high_precision_low_recall(self, resolver, citation_corpus):
+        result = resolver.judge_pairs(_pairs(citation_corpus), strategy="pairwise")
+        confusion = confusion_from_pairs(result.decisions, _labels(citation_corpus))
+        assert confusion.precision > 0.85
+        assert confusion.recall < 0.9
+        assert result.usage.calls == len(citation_corpus.pairs)
+
+    def test_transitive_with_k0_equals_pairwise_decisions(self, resolver, citation_corpus):
+        pairs = _pairs(citation_corpus)
+        pairwise = resolver.judge_pairs(pairs, strategy="pairwise")
+        transitive = resolver.judge_pairs(
+            pairs, strategy="transitive", corpus=citation_corpus.texts(), neighbors_k=0
+        )
+        assert pairwise.decisions == transitive.decisions
+
+    def test_transitive_augmentation_improves_recall(self, resolver, citation_corpus):
+        pairs = _pairs(citation_corpus)
+        labels = _labels(citation_corpus)
+        baseline = resolver.judge_pairs(
+            pairs, strategy="transitive", corpus=citation_corpus.texts(), neighbors_k=0
+        )
+        augmented = resolver.judge_pairs(
+            pairs, strategy="transitive", corpus=citation_corpus.texts(), neighbors_k=2
+        )
+        recall_before = confusion_from_pairs(baseline.decisions, labels).recall
+        recall_after = confusion_from_pairs(augmented.decisions, labels).recall
+        assert recall_after >= recall_before
+        assert augmented.metadata["flipped"] >= 0
+        assert augmented.metadata["unique_llm_pairs"] > len(pairs)
+
+    def test_flipped_judgments_are_marked_with_source(self, resolver, citation_corpus):
+        result = resolver.judge_pairs(
+            _pairs(citation_corpus),
+            strategy="transitive",
+            corpus=citation_corpus.texts(),
+            neighbors_k=2,
+        )
+        sources = {judgment.source for judgment in result.judgments}
+        assert sources.issubset({"llm", "transitivity"})
+
+    def test_proxy_hybrid_uses_fewer_llm_calls(self, resolver, citation_corpus):
+        pairs = _pairs(citation_corpus)
+        proxy = SimilarityMatchProxy(accept_threshold=0.9, reject_threshold=0.15)
+        result = resolver.judge_pairs(pairs, strategy="proxy_hybrid", proxy=proxy)
+        assert result.metadata["llm_pairs"] + result.metadata["proxy_pairs"] == len(pairs)
+        assert result.usage.calls == result.metadata["llm_pairs"]
+        assert result.usage.calls < len(pairs)
+
+    def test_unknown_strategy_raises(self, resolver, citation_corpus):
+        with pytest.raises(UnknownStrategyError):
+            resolver.judge_pairs(_pairs(citation_corpus), strategy="telepathy")
+
+
+class TestResolveClustering:
+    def test_pairwise_clustering_close_to_truth(self):
+        corpus = generate_citation_corpus(n_entities=6, duplicates_per_entity=(2, 3), n_pairs=10, seed=41)
+        resolver = ResolveOperator(SimulatedLLM(corpus.oracle(), seed=42))
+        texts = corpus.texts()
+        result = resolver.resolve(texts, strategy="pairwise")
+        truth = {index: corpus.entity_of[corpus.dataset[index].record_id] for index in range(len(texts))}
+        confusion = pairwise_cluster_f1(result.clusters, truth)
+        assert confusion.f1 > 0.5
+        assert sorted(index for cluster in result.clusters for index in cluster) == list(
+            range(len(texts))
+        )
+
+    def test_single_prompt_clustering_covers_every_record(self):
+        corpus = generate_citation_corpus(n_entities=5, duplicates_per_entity=(2, 3), n_pairs=10, seed=43)
+        resolver = ResolveOperator(SimulatedLLM(corpus.oracle(), seed=44))
+        texts = corpus.texts()
+        result = resolver.resolve(texts, strategy="single_prompt")
+        covered = sorted(index for cluster in result.clusters for index in cluster)
+        assert covered == list(range(len(texts)))
+        assert result.usage.calls == 1
+
+    def test_blocked_pairwise_uses_fewer_comparisons(self):
+        corpus = generate_citation_corpus(n_entities=8, duplicates_per_entity=(2, 3), n_pairs=10, seed=45)
+        resolver = ResolveOperator(SimulatedLLM(corpus.oracle(), seed=46))
+        texts = corpus.texts()
+        result = resolver.resolve(texts, strategy="blocked_pairwise", block_k=3)
+        assert result.metadata["candidate_pairs"] < result.metadata["all_pairs"]
+        assert result.usage.calls == result.metadata["candidate_pairs"]

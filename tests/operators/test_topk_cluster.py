@@ -1,0 +1,97 @@
+"""Tests for the top-k and cluster operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.citations import generate_citation_corpus
+from repro.data.flavors import CHOCOLATEY, FLAVORS
+from repro.exceptions import DatasetError
+from repro.llm.simulated import SimulatedLLM
+from repro.metrics.clustering import pairwise_cluster_f1
+from repro.operators.cluster import ClusterOperator
+from repro.operators.top_k import TopKOperator
+
+
+@pytest.fixture()
+def topk(flavor_llm):
+    return TopKOperator(flavor_llm, CHOCOLATEY, model="sim-gpt-3.5-turbo")
+
+
+class TestTopKOperator:
+    def test_hybrid_finds_a_top_flavor(self, topk, flavors):
+        result = topk.run(flavors, k=1, strategy="hybrid_rating_comparison")
+        assert len(result.top_items) == 1
+        # The winner should come from the clearly-chocolatey half of the list.
+        assert result.top_items[0] in set(FLAVORS[:8])
+
+    def test_hybrid_cheaper_than_full_tournament(self, topk, flavors):
+        hybrid = topk.run(flavors, k=1, strategy="hybrid_rating_comparison")
+        tournament = topk.run(flavors, k=1, strategy="pairwise_tournament")
+        assert hybrid.usage.calls < tournament.usage.calls
+
+    def test_tournament_top3_are_chocolatey(self, topk, flavors):
+        result = topk.run(flavors, k=3, strategy="pairwise_tournament")
+        assert len(result.top_items) == 3
+        assert set(result.top_items).issubset(set(FLAVORS[:8]))
+
+    def test_rating_only_returns_k_items(self, topk, flavors):
+        result = topk.run(flavors, k=5, strategy="rating_only")
+        assert len(result.top_items) == 5
+        assert set(result.ratings) == set(flavors)
+
+    def test_invalid_k(self, topk, flavors):
+        with pytest.raises(DatasetError):
+            topk.run(flavors, k=0)
+        with pytest.raises(DatasetError):
+            topk.run(flavors, k=len(flavors) + 1)
+
+    def test_invalid_shortlist_factor(self, topk, flavors):
+        with pytest.raises(DatasetError):
+            topk.run(flavors, k=1, strategy="hybrid_rating_comparison", shortlist_factor=0)
+
+
+class TestClusterOperator:
+    def _corpus(self):
+        return generate_citation_corpus(
+            n_entities=6, duplicates_per_entity=(2, 3), n_pairs=10, seed=71
+        )
+
+    def test_two_phase_covers_every_item(self):
+        corpus = self._corpus()
+        operator = ClusterOperator(SimulatedLLM(corpus.oracle(), seed=72))
+        texts = corpus.texts()
+        result = operator.run(texts, strategy="two_phase", seed_size=8)
+        covered = sorted(index for cluster in result.clusters for index in cluster)
+        assert covered == list(range(len(texts)))
+
+    def test_two_phase_close_to_ground_truth(self):
+        corpus = self._corpus()
+        operator = ClusterOperator(SimulatedLLM(corpus.oracle(), seed=73))
+        texts = corpus.texts()
+        result = operator.run(texts, strategy="two_phase", seed_size=8)
+        truth = {
+            index: corpus.entity_of[corpus.dataset[index].record_id]
+            for index in range(len(texts))
+        }
+        confusion = pairwise_cluster_f1(result.clusters, truth)
+        assert confusion.f1 > 0.4
+
+    def test_labels_helper(self):
+        corpus = self._corpus()
+        operator = ClusterOperator(SimulatedLLM(corpus.oracle(), seed=74))
+        result = operator.run(corpus.texts(), strategy="single_prompt")
+        labels = result.labels()
+        assert set(labels) == set(range(len(corpus.texts())))
+
+    def test_duplicate_items_rejected(self):
+        corpus = self._corpus()
+        operator = ClusterOperator(SimulatedLLM(corpus.oracle(), seed=75))
+        with pytest.raises(DatasetError):
+            operator.run(["same", "same"])
+
+    def test_invalid_seed_size(self):
+        corpus = self._corpus()
+        operator = ClusterOperator(SimulatedLLM(corpus.oracle(), seed=76))
+        with pytest.raises(DatasetError):
+            operator.run(corpus.texts(), strategy="two_phase", seed_size=1)

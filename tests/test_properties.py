@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.ranking_repair import alignment_insert_position, count_inversions
+from repro.consistency.transitivity import MatchGraph
+from repro.core.budget import Budget
+from repro.llm.prompts import build_structured_prompt, parse_structured_prompt
+from repro.metrics.classification import BinaryConfusion, confusion_from_pairs
+from repro.metrics.ranking import kendall_tau_b, ranking_alignment
+from repro.proxies.similarity import jaccard_similarity, levenshtein_distance
+from repro.quality.validation import wilson_interval
+from repro.quality.voting import majority_vote
+from repro.tokenizer.cost import PriceTable, Usage
+from repro.tokenizer.simple import SimpleTokenizer
+
+# Text strategies: printable-ish words without newlines or the prompt markers.
+_word = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+_words = st.lists(_word, min_size=2, max_size=15, unique=True)
+
+
+class TestTokenizerProperties:
+    @given(st.text(max_size=300))
+    @settings(max_examples=60)
+    def test_token_count_non_negative_and_bounded(self, text):
+        count = SimpleTokenizer().count(text)
+        assert count >= 0
+        assert count <= max(1, len(text))
+
+    @given(st.text(max_size=150), st.text(max_size=150))
+    @settings(max_examples=60)
+    def test_concatenation_is_superadditive_up_to_boundary(self, first, second):
+        tokenizer = SimpleTokenizer()
+        combined = tokenizer.count(first + " " + second)
+        assert combined >= max(tokenizer.count(first), tokenizer.count(second))
+
+
+class TestUsageAndPricingProperties:
+    @given(
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_cost_non_negative_and_monotone(self, prompt, completion, p_price, c_price):
+        table = PriceTable(p_price, c_price)
+        usage = Usage(prompt, completion, 1)
+        bigger = Usage(prompt + 10, completion + 10, 1)
+        assert table.cost(usage) >= 0.0
+        assert table.cost(bigger) >= table.cost(usage)
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 1000)), max_size=20))
+    @settings(max_examples=40)
+    def test_usage_addition_is_commutative(self, pairs):
+        total_forward = Usage()
+        total_backward = Usage()
+        usages = [Usage(p, c, 1) for p, c in pairs]
+        for usage in usages:
+            total_forward.add(usage)
+        for usage in reversed(usages):
+            total_backward.add(usage)
+        assert total_forward.prompt_tokens == total_backward.prompt_tokens
+        assert total_forward.completion_tokens == total_backward.completion_tokens
+
+
+class TestStructuredPromptProperties:
+    @given(_words, st.dictionaries(st.sampled_from(["criterion", "scale", "predicate"]), _word, max_size=3))
+    @settings(max_examples=60)
+    def test_round_trip_items_and_fields(self, items, fields):
+        prompt = build_structured_prompt("sort_list", fields=fields, items=items, instructions="Go.")
+        parsed = parse_structured_prompt(prompt)
+        assert parsed.items == items
+        for key, value in fields.items():
+            assert parsed.fields[key] == value
+
+
+class TestRankingMetricProperties:
+    @given(_words)
+    @settings(max_examples=60)
+    def test_identity_permutation_scores_one(self, items):
+        assert kendall_tau_b(items, items) == pytest.approx(1.0)
+        assert ranking_alignment(items, items) == 1.0
+
+    @given(_words, st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_tau_is_symmetric_under_swap_of_arguments(self, items, rng):
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert kendall_tau_b(shuffled, items) == kendall_tau_b(items, shuffled)
+
+    @given(_words, st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_tau_bounded(self, items, rng):
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        value = kendall_tau_b(shuffled, items)
+        assert -1.0 <= value <= 1.0
+
+
+class TestClassificationProperties:
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_confusion_counts_sum_to_total(self, pairs):
+        predictions = [p for p, _ in pairs]
+        labels = [l for _, l in pairs]
+        confusion = confusion_from_pairs(predictions, labels)
+        assert confusion.total == len(pairs)
+        assert 0.0 <= confusion.precision <= 1.0
+        assert 0.0 <= confusion.recall <= 1.0
+        assert 0.0 <= confusion.f1 <= 1.0
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    @settings(max_examples=60)
+    def test_wilson_interval_contains_proportion(self, successes, trials):
+        successes = min(successes, trials)
+        lower, upper = wilson_interval(successes, trials)
+        assert 0.0 <= lower <= upper <= 1.0
+        assert lower <= successes / trials + 1e-9
+        assert upper >= successes / trials - 1e-9
+
+
+class TestConsistencyProperties:
+    @given(st.lists(st.tuples(_word, _word), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_transitive_closure_is_reflexively_consistent(self, edges):
+        graph = MatchGraph()
+        for left, right in edges:
+            graph.add_match(left, right)
+        closure = graph.transitive_matches()
+        # Every direct edge between distinct nodes appears in the closure.
+        for left, right in edges:
+            if left != right:
+                assert frozenset((left, right)) in closure
+
+    @given(_words, st.data())
+    @settings(max_examples=60)
+    def test_alignment_insert_position_in_bounds(self, items, data):
+        comparisons = {item: data.draw(st.booleans()) for item in items}
+        position = alignment_insert_position(items, comparisons)
+        assert 0 <= position <= len(items)
+
+    @given(_words, st.data())
+    @settings(max_examples=40)
+    def test_count_inversions_bounded_by_number_of_comparisons(self, items, data):
+        comparisons = {}
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                comparisons[(items[i], items[j])] = data.draw(st.booleans())
+        assert 0 <= count_inversions(items, comparisons) <= len(comparisons)
+
+
+class TestProxyProperties:
+    @given(_word, _word)
+    @settings(max_examples=60)
+    def test_similarity_bounds_and_symmetry(self, first, second):
+        value = jaccard_similarity(first, second)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_similarity(second, first)
+
+    @given(_word, _word)
+    @settings(max_examples=60)
+    def test_levenshtein_triangle_with_identity(self, first, second):
+        assert levenshtein_distance(first, first) == 0
+        assert levenshtein_distance(first, second) == levenshtein_distance(second, first)
+        assert levenshtein_distance(first, second) <= max(len(first), len(second))
+
+
+class TestVotingAndBudgetProperties:
+    @given(st.lists(st.sampled_from(["yes", "no", "maybe"]), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_majority_winner_has_maximal_count(self, votes):
+        result = majority_vote(votes)
+        assert result.counts[result.winner] == max(result.counts.values())
+        assert 0.0 < result.support <= 1.0
+
+    @given(st.lists(st.floats(0, 0.1, allow_nan=False), max_size=20))
+    @settings(max_examples=60)
+    def test_budget_spent_equals_sum_of_charges(self, charges):
+        budget = Budget(limit=None)
+        for charge in charges:
+            budget.charge(charge)
+        assert budget.spent == sum(charges) or abs(budget.spent - sum(charges)) < 1e-9

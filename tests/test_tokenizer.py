@@ -1,0 +1,119 @@
+"""Tests for the tokenizer and the pricing / usage accounting layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, UnknownModelError
+from repro.tokenizer.cost import CostModel, CostSummary, PriceTable, Usage
+from repro.tokenizer.simple import SimpleTokenizer, count_tokens
+
+
+class TestSimpleTokenizer:
+    def test_empty_string_has_zero_tokens(self):
+        assert SimpleTokenizer().count("") == 0
+
+    def test_single_short_word_is_one_token(self):
+        assert SimpleTokenizer().count("cat") == 1
+
+    def test_long_word_is_chunked(self):
+        # 12 characters at 4 characters per chunk -> 3 tokens.
+        assert SimpleTokenizer().count("abcdefghijkl") == 3
+
+    def test_punctuation_counts_as_tokens(self):
+        tokens = SimpleTokenizer().tokenize("hello, world!")
+        assert "," in tokens
+        assert "!" in tokens
+
+    def test_count_is_monotone_in_text_length(self):
+        tokenizer = SimpleTokenizer()
+        short = tokenizer.count("alpha beta")
+        long = tokenizer.count("alpha beta gamma delta epsilon")
+        assert long > short
+
+    def test_count_is_deterministic(self):
+        tokenizer = SimpleTokenizer()
+        text = "the quick brown fox jumps over the lazy dog"
+        assert tokenizer.count(text) == tokenizer.count(text)
+
+    def test_memoization_returns_same_result(self):
+        tokenizer = SimpleTokenizer()
+        first = tokenizer.count("memoized text")
+        second = tokenizer.count("memoized text")
+        assert first == second
+
+    def test_module_level_count_tokens(self):
+        # Three words of at most four characters each -> exactly three tokens.
+        assert count_tokens("one two six") == 3
+
+    def test_unicode_text_tokenizes(self):
+        assert SimpleTokenizer().count("café résumé") >= 2
+
+
+class TestUsage:
+    def test_defaults_are_zero(self):
+        usage = Usage()
+        assert usage.prompt_tokens == 0
+        assert usage.completion_tokens == 0
+        assert usage.calls == 0
+        assert usage.total_tokens == 0
+
+    def test_add_accumulates_in_place(self):
+        usage = Usage(10, 5, 1)
+        usage.add(Usage(3, 2, 1))
+        assert usage.prompt_tokens == 13
+        assert usage.completion_tokens == 7
+        assert usage.calls == 2
+
+    def test_addition_operator_returns_new_usage(self):
+        first = Usage(1, 2, 1)
+        second = Usage(3, 4, 1)
+        combined = first + second
+        assert combined.prompt_tokens == 4
+        assert combined.completion_tokens == 6
+        assert first.prompt_tokens == 1  # unchanged
+
+    def test_copy_is_independent(self):
+        usage = Usage(5, 5, 1)
+        duplicate = usage.copy()
+        duplicate.add(Usage(1, 1, 1))
+        assert usage.prompt_tokens == 5
+
+
+class TestPriceTable:
+    def test_cost_is_linear_in_tokens(self):
+        table = PriceTable(prompt_price_per_million=1.0, completion_price_per_million=2.0)
+        assert table.cost(Usage(1_000_000, 0, 1)) == pytest.approx(1.0)
+        assert table.cost(Usage(0, 1_000_000, 1)) == pytest.approx(2.0)
+        assert table.cost(Usage(500_000, 500_000, 1)) == pytest.approx(1.5)
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PriceTable(-1.0, 0.0)
+
+
+class TestCostModel:
+    def test_register_and_cost(self):
+        model = CostModel()
+        model.register("m", PriceTable(2.0, 4.0))
+        assert model.has_model("m")
+        assert model.cost("m", Usage(1_000_000, 1_000_000, 2)) == pytest.approx(6.0)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnknownModelError):
+            CostModel().cost("missing", Usage(1, 1, 1))
+
+    def test_models_sorted(self):
+        model = CostModel({"b": PriceTable(1, 1), "a": PriceTable(1, 1)})
+        assert model.models() == ["a", "b"]
+
+
+class TestCostSummary:
+    def test_totals_aggregate_models(self):
+        summary = CostSummary(
+            by_model={"a": Usage(10, 5, 1), "b": Usage(20, 10, 2)},
+            dollars_by_model={"a": 0.5, "b": 1.5},
+        )
+        assert summary.total_usage.prompt_tokens == 30
+        assert summary.total_usage.calls == 3
+        assert summary.total_dollars == pytest.approx(2.0)
