@@ -8,6 +8,7 @@ model, how many unit tasks — and runs it while enforcing the budget.
 
 from repro.core.budget import Budget
 from repro.core.engine import DeclarativeEngine
+from repro.core.executor import BatchExecutor, BatchRequest
 from repro.core.optimizer import StrategyCandidate, StrategyEvaluation, StrategySelector
 from repro.core.planner import CostEstimate, CostPlanner
 from repro.core.session import PromptSession
@@ -15,6 +16,8 @@ from repro.core.spec import ImputeSpec, ResolveSpec, SortSpec, TaskSpec
 from repro.core.workflow import Workflow, WorkflowStep
 
 __all__ = [
+    "BatchExecutor",
+    "BatchRequest",
     "Budget",
     "CostEstimate",
     "CostPlanner",

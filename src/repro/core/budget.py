@@ -9,6 +9,7 @@ how the engine splits one overall budget across the steps of a workflow.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.exceptions import BudgetExceededError, ConfigurationError
@@ -26,6 +27,9 @@ class Budget:
     limit: float | None = None
     spent: float = 0.0
     _reserved: dict[str, float] = field(default_factory=dict, repr=False)
+    # Charges may arrive from the BatchExecutor's worker threads; the
+    # read-modify-write on ``spent`` must not lose updates.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
@@ -56,9 +60,11 @@ class Budget:
         """
         if amount < 0:
             raise ConfigurationError("cannot charge a negative amount")
-        self.spent += amount
-        if self.limit is not None and self.spent > self.limit + 1e-12:
-            raise BudgetExceededError(self.spent, self.limit)
+        with self._lock:
+            self.spent += amount
+            spent = self.spent
+        if self.limit is not None and spent > self.limit + 1e-12:
+            raise BudgetExceededError(spent, self.limit)
 
     def reserve(self, name: str, fraction: float) -> "Budget":
         """Carve out a named sub-budget as a fraction of the remaining budget."""

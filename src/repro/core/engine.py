@@ -3,7 +3,10 @@
 :class:`DeclarativeEngine` is the user-facing entry point of the library: it
 owns a :class:`~repro.core.session.PromptSession` (shared budget, cache,
 tracker) and turns declarative :mod:`~repro.core.spec` objects into operator
-runs.  When a spec leaves the strategy as ``"auto"`` and provides a labelled
+runs.  The engine's ``max_concurrency`` argument is threaded through to every
+operator it constructs, so all independent unit tasks (pairwise comparisons,
+rating calls, per-record imputations, ...) run through a shared-size thread
+pool; at temperature 0 results are identical to sequential execution.  When a spec leaves the strategy as ``"auto"`` and provides a labelled
 validation sample, the engine uses the :class:`~repro.core.optimizer.
 StrategySelector` to pick a strategy before running the full task — the
 AutoML-style loop the paper sketches in Section 4.
@@ -40,8 +43,11 @@ class DeclarativeEngine:
         registry: ModelRegistry | None = None,
         budget: Budget | None = None,
         default_model: str | None = None,
+        max_concurrency: int = 1,
     ) -> None:
-        self.session = PromptSession(client, registry=registry, budget=budget)
+        self.session = PromptSession(
+            client, registry=registry, budget=budget, max_concurrency=max_concurrency
+        )
         self.default_model = default_model
 
     # -- helpers -----------------------------------------------------------------
@@ -50,6 +56,11 @@ class DeclarativeEngine:
         return {
             "model": self.default_model,
             "cost_model": self.session.cost_model,
+            "max_concurrency": self.session.max_concurrency,
+            # Hand the session budget to every operator's executor so a spend
+            # limit stops a large batch between unit tasks, not after the
+            # whole batch has been dispatched.
+            "budget": self.session.budget,
         }
 
     @property
@@ -88,8 +99,9 @@ class DeclarativeEngine:
             return operator.run(validation_items, strategy=candidate.name, **candidate.options)
 
         def score(result: SortResult) -> float:
+            placed = set(result.order)
             order = list(result.order) + [
-                item for item in validation_items if item not in set(result.order)
+                item for item in validation_items if item not in placed
             ]
             tau = kendall_tau_b(order, validation_items)
             return (tau + 1.0) / 2.0

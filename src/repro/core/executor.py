@@ -1,0 +1,207 @@
+"""Batched, optionally concurrent execution of independent LLM unit tasks.
+
+The paper's declarative framing treats every operator as a bag of independent
+unit tasks — pairwise comparisons, rating calls, per-record imputations.  The
+:class:`BatchExecutor` is the single dispatch point those bags go through:
+
+* ``max_concurrency == 1`` (the default) issues the batch through the client's
+  native ``complete_batch`` — sequential, deterministic, and able to exploit
+  batch-level optimisations such as the response cache's within-batch dedup.
+* ``max_concurrency > 1`` fans the unit tasks out over a thread pool of that
+  size.  Results always come back in input order, and at temperature 0 they
+  are element-wise identical to the sequential path (the equivalence test
+  suite in ``tests/`` asserts this for every converted operator).
+
+Two reliability hooks ride along:
+
+* *Retry integration* — pass a ``validator`` (plus ``max_retries``) and every
+  unit task is wrapped in the :class:`~repro.llm.retry.RetryingClient`
+  semantics, with aggregate stats exposed as :attr:`BatchExecutor.retry_stats`.
+* *Budget-aware early stopping* — pass a :class:`~repro.core.budget.Budget`
+  and the executor checks remaining funds before dispatching each unit task,
+  raising :class:`~repro.exceptions.BudgetExceededError` without issuing the
+  rest of the batch once the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.budget import Budget
+from repro.exceptions import BudgetExceededError, ConfigurationError
+from repro.llm.base import LLMResponse, call_complete_batch
+from repro.llm.retry import RetryingClient, RetryStats
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One unit task: a prompt plus its per-call completion parameters."""
+
+    prompt: str
+    model: str | None = None
+    temperature: float = 0.0
+    max_tokens: int | None = None
+
+
+class BatchExecutor:
+    """Dispatch a list of independent unit tasks against one LLM client.
+
+    Args:
+        client: the client every unit task is issued through (typically an
+            operator's tracked/cached client, or a session client).
+        max_concurrency: thread-pool size; 1 means sequential native batching.
+        budget: optional budget checked before each dispatch for early
+            stopping.
+        validator: optional response-text validator enabling per-call retries
+            (see :class:`~repro.llm.retry.RetryingClient`).
+        max_retries: additional attempts per unit task when a validator is set.
+        retry_temperature: temperature used for those retry attempts.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        *,
+        max_concurrency: int = 1,
+        budget: Budget | None = None,
+        validator: Callable[[str], Any] | None = None,
+        max_retries: int = 2,
+        retry_temperature: float = 0.7,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be at least 1")
+        self.max_concurrency = max_concurrency
+        self.budget = budget
+        if validator is not None:
+            client = RetryingClient(
+                client,
+                validator=validator,
+                max_retries=max_retries,
+                retry_temperature=retry_temperature,
+            )
+            self.retry_stats: RetryStats | None = client.stats
+        else:
+            self.retry_stats = None
+        self._client = client
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def run(self, requests: Iterable[BatchRequest | str]) -> list[LLMResponse]:
+        """Execute every request and return the responses in input order.
+
+        Plain strings are promoted to default-parameter :class:`BatchRequest`
+        objects.  Raises :class:`~repro.exceptions.BudgetExceededError` before
+        dispatching further unit tasks once an attached budget is exhausted.
+        """
+        normalized = [
+            request if isinstance(request, BatchRequest) else BatchRequest(prompt=request)
+            for request in requests
+        ]
+        if not normalized:
+            return []
+        if self.max_concurrency == 1 or len(normalized) == 1:
+            return self._run_sequential(normalized)
+        return self._run_concurrent(normalized)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check_budget(self) -> None:
+        budget = self.budget
+        if budget is not None and not budget.unlimited and budget.remaining <= 0.0:
+            raise BudgetExceededError(budget.spent, budget.limit)
+
+    def _complete_one(self, request: BatchRequest) -> LLMResponse:
+        self._check_budget()
+        return self._client.complete(
+            request.prompt,
+            model=request.model,
+            temperature=request.temperature,
+            max_tokens=request.max_tokens,
+        )
+
+    def _homogeneous_params(
+        self, requests: Sequence[BatchRequest]
+    ) -> tuple[str | None, float, int | None] | None:
+        params = {(request.model, request.temperature, request.max_tokens) for request in requests}
+        if len(params) == 1:
+            return next(iter(params))
+        return None
+
+    @property
+    def _budget_enforced(self) -> bool:
+        return self.budget is not None and not self.budget.unlimited
+
+    def _run_sequential(self, requests: Sequence[BatchRequest]) -> list[LLMResponse]:
+        params = self._homogeneous_params(requests)
+        if params is not None and not self._budget_enforced:
+            # The common operator case: one prompt list, shared parameters, no
+            # budget limit to check mid-batch — hand the whole bag to the
+            # client's native batch entry point in a single call.
+            model, temperature, max_tokens = params
+            return call_complete_batch(
+                self._client,
+                [request.prompt for request in requests],
+                model=model,
+                temperature=temperature,
+                max_tokens=max_tokens,
+            )
+        # Heterogeneous parameters (e.g. ensemble votes across models) or a
+        # budget limit that must be able to stop the batch mid-way: dispatch
+        # one by one, in order, so every call is charged before the next one
+        # goes out.
+        return [self._complete_one(request) for request in requests]
+
+    def _run_concurrent(self, requests: Sequence[BatchRequest]) -> list[LLMResponse]:
+        results: list[LLMResponse | None] = [None] * len(requests)
+        # Duplicate temperature-0 requests must not race each other past a
+        # downstream cache's check-then-act: only the first occurrence per
+        # (model, prompt) — the response cache's key, so requests differing
+        # only in max_tokens still count as duplicates — goes to the pool;
+        # duplicates are resolved afterwards through the ordinary per-call
+        # path, where they hit the now-warm cache (or, without a cache, pay
+        # their own call — exactly like the sequential loop).
+        seen: set[tuple[str | None, str]] = set()
+        pooled: list[int] = []
+        deferred: list[int] = []
+        for index, request in enumerate(requests):
+            if request.temperature == 0.0:
+                key = (request.model, request.prompt)
+                if key in seen:
+                    deferred.append(index)
+                    continue
+                seen.add(key)
+            pooled.append(index)
+        errors: dict[int, BaseException] = {}
+        with ThreadPoolExecutor(max_workers=self.max_concurrency) as pool:
+            futures = {
+                pool.submit(self._complete_one, requests[index]): index for index in pooled
+            }
+            # Collect in submission order with result() rather than
+            # as_completed(): futures cancelled by shutdown(cancel_futures=
+            # True) never notify as_completed's waiters (no worker runs their
+            # set_running_or_notify_cancel), which would hang the iterator;
+            # result() raises CancelledError on them immediately.
+            cancelled = False
+            for future, index in futures.items():
+                try:
+                    results[index] = future.result()
+                except CancelledError:
+                    continue
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors[index] = exc
+                    if not cancelled:
+                        # A unit task failed: stop dispatching the queued ones
+                        # (in-flight tasks finish), approximating where the
+                        # sequential loop would have stopped.
+                        cancelled = True
+                        pool.shutdown(wait=False, cancel_futures=True)
+        if errors:
+            # Deterministic propagation: surface the failure of the earliest
+            # request among those that ran.
+            raise errors[min(errors)]
+        for index in deferred:
+            results[index] = self._complete_one(requests[index])
+        assert all(response is not None for response in results)
+        return results  # type: ignore[return-value]

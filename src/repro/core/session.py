@@ -4,6 +4,13 @@ A :class:`PromptSession` is what the engine hands to every operator it
 constructs, so that all LLM traffic in a workflow shares one usage tracker,
 one response cache, and one budget — regardless of how many operators or
 strategies the workflow touches.
+
+Sessions carry a ``max_concurrency`` knob: operators constructed by the
+engine thread their independent unit tasks through a
+:class:`~repro.core.executor.BatchExecutor` of that size, so one setting
+controls the parallelism of every LLM-bound loop in the workflow.  The
+session's cache, tracker, and budget are all thread-safe, so the concurrent
+path never loses accounting updates.
 """
 
 from __future__ import annotations
@@ -12,7 +19,8 @@ from dataclasses import dataclass
 
 from repro.config import DEFAULT_CONFIG, ReproConfig
 from repro.core.budget import Budget
-from repro.llm.base import LLMClient, LLMResponse
+from repro.exceptions import BudgetExceededError
+from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
 from repro.llm.cache import CachedClient, ResponseCache
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.llm.tracker import UsageTracker
@@ -37,6 +45,18 @@ class SessionClient:
             prompt, model=model, temperature=temperature, max_tokens=max_tokens
         )
 
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        return self.session.complete_batch(
+            prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
 
 class PromptSession:
     """Shared execution context for one declarative workflow.
@@ -47,6 +67,8 @@ class PromptSession:
         budget: the monetary budget; defaults to unlimited.
         config: library configuration defaults.
         use_cache: whether identical temperature-0 prompts are deduplicated.
+        max_concurrency: thread-pool size operators use for their independent
+            unit tasks; 1 (the default) keeps everything sequential.
     """
 
     def __init__(
@@ -57,10 +79,12 @@ class PromptSession:
         budget: Budget | None = None,
         config: ReproConfig = DEFAULT_CONFIG,
         use_cache: bool = True,
+        max_concurrency: int = 1,
     ) -> None:
         self.registry = registry or default_registry()
         self.budget = budget or Budget()
         self.config = config
+        self.max_concurrency = max_concurrency
         self.cost_model: CostModel = self.registry.cost_model()
         self.tracker = UsageTracker(cost_model=self.cost_model)
         self.cache = ResponseCache()
@@ -84,6 +108,38 @@ class PromptSession:
         if self.cost_model.has_model(response.model):
             self.budget.charge(self.cost_model.cost(response.model, response.usage))
         return response
+
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Issue a whole batch through the session: cache, track, and charge it.
+
+        The batch is dispatched as one unit, so the budget is checked up front
+        and charged per response afterwards; callers that need a spend limit
+        to interrupt a batch *between* unit tasks should dispatch through a
+        :class:`~repro.core.executor.BatchExecutor` with the session budget
+        attached (operators constructed by the engine do exactly that).
+        """
+        if not self.budget.unlimited and self.budget.remaining <= 0.0:
+            raise BudgetExceededError(self.budget.spent, self.budget.limit or 0.0)
+        model_name = model or self.config.chat_model
+        responses = call_complete_batch(
+            self._client,
+            list(prompts),
+            model=model_name,
+            temperature=temperature,
+            max_tokens=max_tokens,
+        )
+        self.tracker.record_batch(responses)
+        for response in responses:
+            if self.cost_model.has_model(response.model):
+                self.budget.charge(self.cost_model.cost(response.model, response.usage))
+        return responses
 
     def client(self) -> SessionClient:
         """A client view suitable for handing to operators."""

@@ -11,7 +11,13 @@ prompts, low-recall duplicate judgments, formatting variants in imputed
 values), which is what all of the paper's techniques operate on.
 """
 
-from repro.llm.base import ChatMessage, LLMClient, LLMResponse
+from repro.llm.base import (
+    ChatMessage,
+    LLMClient,
+    LLMResponse,
+    call_complete_batch,
+    sequential_complete_batch,
+)
 from repro.llm.behaviors import BehaviorConfig
 from repro.llm.cache import CachedClient, ResponseCache
 from repro.llm.embeddings import HashingEmbedder
@@ -38,5 +44,7 @@ __all__ = [
     "RetryingClient",
     "SimulatedLLM",
     "UsageTracker",
+    "call_complete_batch",
     "default_registry",
+    "sequential_complete_batch",
 ]

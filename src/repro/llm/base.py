@@ -53,7 +53,21 @@ class LLMResponse:
 
 @runtime_checkable
 class LLMClient(Protocol):
-    """Protocol implemented by every LLM client in this package."""
+    """Protocol implemented by every LLM client in this package.
+
+    ``complete`` is the unit-task call.  ``complete_batch`` is the bulk entry
+    point used by the batched execution layer (:mod:`repro.core.executor`):
+    given N prompts sharing one (model, temperature, max_tokens) configuration
+    it returns N responses in input order.  Clients without a native batch
+    implementation can delegate to :func:`sequential_complete_batch`.
+
+    Compatibility: minimal clients that only implement ``complete`` are still
+    accepted by every consumer in this package — all internal batch dispatch
+    goes through :func:`call_complete_batch`, which falls back to the
+    sequential loop when ``complete_batch`` is absent.  Such clients are not
+    full ``LLMClient`` implementations (``isinstance`` and static checks will
+    say so), but they run fine everywhere a client is consumed.
+    """
 
     def complete(
         self,
@@ -65,6 +79,58 @@ class LLMClient(Protocol):
     ) -> LLMResponse:
         """Run one completion call and return the response."""
         ...  # pragma: no cover - protocol definition
+
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Run one completion call per prompt and return responses in order."""
+        ...  # pragma: no cover - protocol definition
+
+
+def sequential_complete_batch(
+    client: Any,
+    prompts: list[str],
+    *,
+    model: str | None = None,
+    temperature: float = 0.0,
+    max_tokens: int | None = None,
+) -> list[LLMResponse]:
+    """The sequential default for ``complete_batch``: one ``complete`` per prompt.
+
+    At temperature 0 this is observably identical to any correct native batch
+    implementation (same responses, same totals), which is what the batch
+    equivalence test suite asserts.
+    """
+    return [
+        client.complete(prompt, model=model, temperature=temperature, max_tokens=max_tokens)
+        for prompt in prompts
+    ]
+
+
+def call_complete_batch(
+    client: Any,
+    prompts: list[str],
+    *,
+    model: str | None = None,
+    temperature: float = 0.0,
+    max_tokens: int | None = None,
+) -> list[LLMResponse]:
+    """Dispatch a batch to ``client``, preferring its native ``complete_batch``.
+
+    Third-party clients that only implement ``complete`` still work: the batch
+    falls back to the sequential loop.
+    """
+    batch = getattr(client, "complete_batch", None)
+    if callable(batch):
+        return batch(prompts, model=model, temperature=temperature, max_tokens=max_tokens)
+    return sequential_complete_batch(
+        client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+    )
 
 
 def messages_to_prompt(messages: list[ChatMessage]) -> str:

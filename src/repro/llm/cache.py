@@ -5,14 +5,23 @@ augmentation in Table 3, for example, asks about overlapping neighbor pairs).
 Caching identical (model, prompt, temperature-0) calls is the cheapest
 cost-reduction technique available, so the library makes it a first-class
 wrapper that any client can be composed with.
+
+The cache is thread-safe: the :class:`~repro.core.executor.BatchExecutor`
+dispatches unit tasks from a thread pool, so ``get``/``put`` (and the hit/miss
+counters they maintain) are serialised behind a lock.  ``CachedClient`` also
+implements the bulk ``complete_batch`` entry point, which additionally
+deduplicates identical prompts *within* one batch so that N copies of a prompt
+cost exactly one inner call — the same guarantee the sequential path gets from
+the cache, preserved when the whole batch is handed downstream at once.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.llm.base import LLMClient, LLMResponse
+from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
 from repro.tokenizer.cost import Usage
 
 
@@ -33,7 +42,11 @@ class CacheStats:
 
 
 class ResponseCache:
-    """A bounded LRU cache of LLM responses keyed by (model, prompt)."""
+    """A bounded LRU cache of LLM responses keyed by (model, prompt).
+
+    All public methods are safe to call concurrently from multiple threads;
+    hit/miss accounting never loses updates.
+    """
 
     def __init__(self, max_entries: int = 100_000) -> None:
         if max_entries <= 0:
@@ -41,30 +54,47 @@ class ResponseCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple[str, str], LLMResponse] = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, model: str, prompt: str) -> LLMResponse | None:
         key = (model, prompt)
-        response = self._entries.get(key)
-        if response is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return response
+        with self._lock:
+            response = self._entries.get(key)
+            if response is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return response
 
     def put(self, model: str, prompt: str, response: LLMResponse) -> None:
         key = (model, prompt)
-        self._entries[key] = response
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+def _cache_hit_copy(cached: LLMResponse) -> LLMResponse:
+    """A fresh response representing a cache hit: zero usage, marked metadata."""
+    return LLMResponse(
+        text=cached.text,
+        model=cached.model,
+        usage=Usage(),
+        finish_reason=cached.finish_reason,
+        confidence=cached.confidence,
+        metadata={**cached.metadata, "cache_hit": True},
+    )
 
 
 class CachedClient:
@@ -81,6 +111,9 @@ class CachedClient:
         # falsy because it defines __len__), so test for None explicitly.
         self.cache = cache if cache is not None else ResponseCache()
 
+    def _cache_key_model(self, model: str | None) -> str:
+        return model or getattr(self._client, "default_model", "default")
+
     def complete(
         self,
         prompt: str,
@@ -89,21 +122,73 @@ class CachedClient:
         temperature: float = 0.0,
         max_tokens: int | None = None,
     ) -> LLMResponse:
-        cache_key_model = model or getattr(self._client, "default_model", "default")
+        cache_key_model = self._cache_key_model(model)
         if temperature == 0.0:
             cached = self.cache.get(cache_key_model, prompt)
             if cached is not None:
-                return LLMResponse(
-                    text=cached.text,
-                    model=cached.model,
-                    usage=Usage(),
-                    finish_reason=cached.finish_reason,
-                    confidence=cached.confidence,
-                    metadata={**cached.metadata, "cache_hit": True},
-                )
+                return _cache_hit_copy(cached)
         response = self._client.complete(
             prompt, model=model, temperature=temperature, max_tokens=max_tokens
         )
         if temperature == 0.0:
             self.cache.put(cache_key_model, prompt, response)
         return response
+
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Serve a whole batch through the cache with within-batch dedup.
+
+        Element-wise equivalent to calling :meth:`complete` per prompt in
+        order: already-cached prompts are hits, the first occurrence of each
+        novel prompt is a miss forwarded to the inner client (as one inner
+        batch), and duplicate occurrences within the batch become hits served
+        from the just-filled cache — so per-prompt hit/miss accounting matches
+        the sequential path exactly while novel prompts cost one inner call
+        each.
+        """
+        if temperature != 0.0:
+            return call_complete_batch(
+                self._client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+            )
+        cache_key_model = self._cache_key_model(model)
+        results: list[LLMResponse | None] = [None] * len(prompts)
+        pending_indices: list[int] = []
+        pending_prompts: list[str] = []
+        scheduled: set[str] = set()
+        duplicate_indices: list[int] = []
+        for index, prompt in enumerate(prompts):
+            if prompt in scheduled:
+                # Duplicate of an in-batch miss: resolved from the cache after
+                # the inner batch returns, exactly like the sequential path.
+                duplicate_indices.append(index)
+                continue
+            cached = self.cache.get(cache_key_model, prompt)
+            if cached is not None:
+                results[index] = _cache_hit_copy(cached)
+            else:
+                scheduled.add(prompt)
+                pending_indices.append(index)
+                pending_prompts.append(prompt)
+        if pending_prompts:
+            responses = call_complete_batch(
+                self._client,
+                pending_prompts,
+                model=model,
+                temperature=temperature,
+                max_tokens=max_tokens,
+            )
+            for index, prompt, response in zip(pending_indices, pending_prompts, responses):
+                self.cache.put(cache_key_model, prompt, response)
+                results[index] = response
+        for index in duplicate_indices:
+            cached = self.cache.get(cache_key_model, prompts[index])
+            assert cached is not None  # its first occurrence was just put
+            results[index] = _cache_hit_copy(cached)
+        assert all(response is not None for response in results)
+        return results  # type: ignore[return-value]

@@ -11,11 +11,12 @@ attempt is accumulated so cost accounting stays honest.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.exceptions import ConfigurationError, ResponseParseError
-from repro.llm.base import LLMClient, LLMResponse
+from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
 from repro.tokenizer.cost import Usage
 
 
@@ -59,6 +60,8 @@ class RetryingClient:
         self.max_retries = max_retries
         self.retry_temperature = retry_temperature
         self.stats = RetryStats()
+        # Stats are bumped from the BatchExecutor's worker threads too.
+        self._stats_lock = threading.Lock()
 
     def _accepted(self, text: str) -> bool:
         if self.validator is None:
@@ -82,25 +85,70 @@ class RetryingClient:
         none was accepted), with the usage of *all* attempts accumulated onto it
         and retry metadata attached.
         """
+        return self._retry_loop(
+            prompt, None, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Batch the first attempt, then retry each rejected prompt individually.
+
+        The first attempt for every prompt goes to the inner client as one
+        batch (so native batch optimisations like cache dedup apply); only the
+        prompts whose response the validator rejects fall back to per-prompt
+        retry loops.  Per-prompt usage accumulation, retry metadata, and the
+        aggregate stats counters match the sequential path.
+        """
+        first_attempts = call_complete_batch(
+            self._client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+        return [
+            self._retry_loop(
+                prompt, first, model=model, temperature=temperature, max_tokens=max_tokens
+            )
+            for prompt, first in zip(prompts, first_attempts)
+        ]
+
+    def _retry_loop(
+        self,
+        prompt: str,
+        first_response: LLMResponse | None,
+        *,
+        model: str | None,
+        temperature: float,
+        max_tokens: int | None,
+    ) -> LLMResponse:
+        """Run the attempt loop, optionally reusing an already-made first attempt."""
         accumulated = Usage()
         response: LLMResponse | None = None
         attempts = 0
         for attempt in range(self.max_retries + 1):
             attempts += 1
-            self.stats.attempts += 1
-            attempt_temperature = temperature if attempt == 0 else max(
-                temperature, self.retry_temperature
-            )
-            response = self._client.complete(
-                prompt, model=model, temperature=attempt_temperature, max_tokens=max_tokens
-            )
+            with self._stats_lock:
+                self.stats.attempts += 1
+            if attempt == 0 and first_response is not None:
+                response = first_response
+            else:
+                attempt_temperature = temperature if attempt == 0 else max(
+                    temperature, self.retry_temperature
+                )
+                response = self._client.complete(
+                    prompt, model=model, temperature=attempt_temperature, max_tokens=max_tokens
+                )
             accumulated.add(response.usage)
             if self._accepted(response.text):
                 break
-            if attempt < self.max_retries:
-                self.stats.retries += 1
-            else:
-                self.stats.failures += 1
+            with self._stats_lock:
+                if attempt < self.max_retries:
+                    self.stats.retries += 1
+                else:
+                    self.stats.failures += 1
         assert response is not None  # at least one attempt always runs
         response.usage = accumulated
         response.metadata = {**response.metadata, "attempts": attempts}

@@ -13,10 +13,11 @@ Two routing policies from the paper's agenda:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
-from repro.llm.base import LLMClient, LLMResponse
+from repro.llm.base import LLMClient, LLMResponse, call_complete_batch, sequential_complete_batch
 from repro.tokenizer.cost import Usage
 
 
@@ -46,6 +47,7 @@ class CascadeRouter:
         self.tiers = list(tiers)
         self.confidence_threshold = confidence_threshold
         self.escalations = 0
+        self._escalation_lock = threading.Lock()
 
     def complete(
         self,
@@ -74,11 +76,63 @@ class CascadeRouter:
             if response.confidence >= self.confidence_threshold:
                 break
             if position < len(self.tiers) - 1:
-                self.escalations += 1
+                with self._escalation_lock:
+                    self.escalations += 1
         assert response is not None  # guaranteed by the non-empty tier check
         response.usage = accumulated
         response.metadata = {**response.metadata, "cascade_tiers": used_tiers}
         return response
+
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Run the cascade for a whole batch, escalating tier by tier.
+
+        All prompts are asked at the cheapest tier first (as one inner batch);
+        only the prompts whose answer fell below the confidence threshold
+        escalate to the next tier's batch.  Per-prompt results — accumulated
+        usage, used-tier metadata, escalation counts — match the sequential
+        cascade exactly.
+        """
+        del model
+        results: list[LLMResponse | None] = [None] * len(prompts)
+        accumulated = [Usage() for _ in prompts]
+        used_tiers: list[list[str]] = [[] for _ in prompts]
+        active = list(range(len(prompts)))
+        for position, tier in enumerate(self.tiers):
+            if not active:
+                break
+            responses = call_complete_batch(
+                tier.client,
+                [prompts[index] for index in active],
+                model=tier.model,
+                temperature=temperature,
+                max_tokens=max_tokens,
+            )
+            still_unsettled: list[int] = []
+            for index, response in zip(active, responses):
+                accumulated[index].add(response.usage)
+                used_tiers[index].append(tier.model)
+                results[index] = response
+                if response.confidence >= self.confidence_threshold:
+                    continue
+                if position < len(self.tiers) - 1:
+                    with self._escalation_lock:
+                        self.escalations += 1
+                    still_unsettled.append(index)
+            active = still_unsettled
+        final: list[LLMResponse] = []
+        for index, response in enumerate(results):
+            assert response is not None  # every prompt settles by the last tier
+            response.usage = accumulated[index]
+            response.metadata = {**response.metadata, "cascade_tiers": used_tiers[index]}
+            final.append(response)
+        return final
 
 
 @dataclass
@@ -140,3 +194,16 @@ class EnsembleClient:
         """
         del model
         return self.complete_all(prompt, temperature=temperature, max_tokens=max_tokens).responses[0]
+
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """LLMClient-compatible batch call: the first member answers each prompt."""
+        return sequential_complete_batch(
+            self, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import hashlib
 import random
+import threading
 
 from repro.config import DEFAULT_CHAT_MODEL, DEFAULT_SEED
 from repro.exceptions import ContextLengthExceededError, ResponseParseError
-from repro.llm.base import LLMResponse
+from repro.llm.base import LLMResponse, sequential_complete_batch
 from repro.llm.behaviors import BEHAVIORS, BehaviorConfig
 from repro.llm.oracle import Oracle
 from repro.llm.prompts import parse_structured_prompt
@@ -63,6 +64,9 @@ class SimulatedLLM:
         self.seed = seed
         self.tokenizer = SimpleTokenizer()
         self._call_counter = 0
+        # complete() may be called from the BatchExecutor's worker threads;
+        # the counter increment must not lose updates under that load.
+        self._counter_lock = threading.Lock()
 
     # -- LLMClient protocol --------------------------------------------------
 
@@ -85,8 +89,9 @@ class SimulatedLLM:
         if prompt_tokens > spec.context_length:
             raise ContextLengthExceededError(prompt_tokens, spec.context_length, model_name)
 
-        self._call_counter += 1
-        sample_index = self._call_counter if temperature > 0 else 0
+        with self._counter_lock:
+            self._call_counter += 1
+            sample_index = self._call_counter if temperature > 0 else 0
         rng = random.Random(_stable_seed(self.seed, model_name, prompt, sample_index))
 
         text, confidence = self._generate(prompt, rng, spec.quality)
@@ -115,6 +120,25 @@ class SimulatedLLM:
             metadata={"temperature": temperature},
         )
 
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Run one simulated completion per prompt, in input order.
+
+        The simulator has no transport to amortise, so the native batch is the
+        sequential loop; concurrency across batches comes from the
+        :class:`~repro.core.executor.BatchExecutor` calling :meth:`complete`
+        from its worker threads.
+        """
+        return sequential_complete_batch(
+            self, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
     # -- internals ------------------------------------------------------------
 
     def _generate(self, prompt: str, rng: random.Random, quality: float) -> tuple[str, float]:
@@ -132,4 +156,5 @@ class SimulatedLLM:
 
     def reset(self) -> None:
         """Reset the sampling counter (affects temperature > 0 calls only)."""
-        self._call_counter = 0
+        with self._counter_lock:
+            self._call_counter = 0

@@ -6,13 +6,22 @@ registry of named strategies.  Operator results extend
 :class:`OperatorResult`, which carries the usage and dollar cost alongside the
 task output so benchmarks can report the cost columns of the paper's tables
 without extra bookkeeping.
+
+Independent unit-task loops go through :meth:`BaseOperator._complete_batch`
+(or :meth:`BaseOperator._complete_requests` for heterogeneous per-call
+models), which dispatches via a :class:`~repro.core.executor.BatchExecutor`.
+The operator-level ``max_concurrency`` argument sizes that executor's thread
+pool; at the default of 1 execution is sequential and deterministic, and at
+temperature 0 the concurrent path produces element-wise identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
+from repro.core.budget import Budget
+from repro.core.executor import BatchExecutor, BatchRequest
 from repro.exceptions import UnknownStrategyError
 from repro.llm.base import LLMClient, LLMResponse
 from repro.llm.cache import CachedClient, ResponseCache
@@ -55,6 +64,11 @@ class BaseOperator:
         cost_model: optional price table used to convert usage to dollars.
         use_cache: whether identical temperature-0 prompts are served from a
             response cache (recommended; several strategies re-ask pairs).
+        max_concurrency: thread-pool size for the operator's independent unit
+            tasks; 1 (the default) runs them sequentially.
+        budget: optional budget the operator's batches check before each
+            dispatch, so a limit stops a large batch mid-way instead of after
+            the fact (the engine threads its session budget through here).
     """
 
     #: Operator name used in error messages; subclasses override.
@@ -67,11 +81,17 @@ class BaseOperator:
         model: str | None = None,
         cost_model: CostModel | None = None,
         use_cache: bool = True,
+        max_concurrency: int = 1,
+        budget: Budget | None = None,
     ) -> None:
         self.model = model
         self.tracker = UsageTracker(cost_model=cost_model)
         inner: LLMClient = CachedClient(client, ResponseCache()) if use_cache else client
         self._client = TrackedClient(inner, self.tracker)
+        self.max_concurrency = max_concurrency
+        self._executor = BatchExecutor(
+            self._client, max_concurrency=max_concurrency, budget=budget
+        )
         self._strategies: dict[str, Callable[..., Any]] = {}
         self._strategy_info: dict[str, StrategyInfo] = {}
         self._register_strategies()
@@ -119,6 +139,27 @@ class BaseOperator:
     ) -> LLMResponse:
         """Issue one tracked (and possibly cached) LLM call."""
         return self._client.complete(prompt, model=model or self.model, temperature=temperature)
+
+    def _complete_batch(
+        self, prompts: Sequence[str], *, model: str | None = None, temperature: float = 0.0
+    ) -> list[LLMResponse]:
+        """Issue a bag of independent unit tasks, responses in prompt order.
+
+        This is the hot path of every fine-grained strategy: the batch runs
+        through the operator's :class:`~repro.core.executor.BatchExecutor`,
+        sequentially at ``max_concurrency == 1`` and over a thread pool
+        otherwise.
+        """
+        return self._complete_requests(
+            [
+                BatchRequest(prompt=prompt, model=model or self.model, temperature=temperature)
+                for prompt in prompts
+            ]
+        )
+
+    def _complete_requests(self, requests: Sequence[BatchRequest]) -> list[LLMResponse]:
+        """Issue fully specified unit tasks (per-request models/temperatures)."""
+        return self._executor.run(requests)
 
     def _usage_snapshot(self) -> Usage:
         """Copy of the usage accumulated so far (used to diff per-run usage)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core.executor import BatchRequest
 from repro.exceptions import ConfigurationError, ResponseParseError
 from repro.llm.parsing import extract_choice
 from repro.llm.prompts import categorize_prompt
@@ -80,15 +81,24 @@ class CategorizeOperator(BaseOperator):
         response = self._complete(
             categorize_prompt(item, self.categories), model=model, temperature=temperature
         )
+        return self._parse_choice(response.text)
+
+    def _parse_choice(self, text: str) -> str:
         try:
-            return extract_choice(response.text, self.categories)
+            return extract_choice(text, self.categories)
         except ResponseParseError:
             return self.categories[0]
 
     # -- strategies ------------------------------------------------------------------
 
     def _run_per_item(self, items: list[str]) -> CategorizeResult:
-        assignments = {item: self._ask(item, self.model) for item in items}
+        # Independent multiple-choice tasks: dispatch the lot as one batch.
+        responses = self._complete_batch(
+            [categorize_prompt(item, self.categories) for item in items], model=self.model
+        )
+        assignments = {
+            item: self._parse_choice(response.text) for item, response in zip(items, responses)
+        }
         return CategorizeResult(
             strategy="per_item", assignments=assignments, votes_used=len(items)
         )
@@ -98,6 +108,8 @@ class CategorizeOperator(BaseOperator):
     ) -> CategorizeResult:
         if n_samples < 1:
             raise ConfigurationError("n_samples must be at least 1")
+        # Temperature > 0 sampling stays sequential: the simulated client's
+        # sample counter makes draw order part of the observable behaviour.
         assignments: dict[str, str] = {}
         votes_used = 0
         for item in items:
@@ -116,10 +128,17 @@ class CategorizeOperator(BaseOperator):
         voter_models = list(models or ([self.model] if self.model else []))
         if len(voter_models) < 2:
             raise ConfigurationError("ensemble_vote needs at least two models")
+        # Every (item, model) ballot is independent: one item-major batch.
+        requests = [
+            BatchRequest(prompt=categorize_prompt(item, self.categories), model=model)
+            for item in items
+            for model in voter_models
+        ]
+        responses = iter(self._complete_requests(requests))
         assignments: dict[str, str] = {}
         votes_used = 0
         for item in items:
-            samples = [self._ask(item, model) for model in voter_models]
+            samples = [self._parse_choice(next(responses).text) for _ in voter_models]
             votes_used += len(samples)
             assignments[item] = str(majority_vote(samples).winner)
         return CategorizeResult(

@@ -10,6 +10,11 @@ ensemble strategies in addition to the plain per-item one.
 * ``adaptive`` — CrowdScreen-style sequential querying: keep asking additional
   models only while the answers disagree, up to a budgeted maximum, finalising
   early for items with clear agreement.
+
+``per_item`` and ``ensemble_vote`` dispatch their independent checks through
+the operator's batch executor (see :mod:`repro.core.executor`), so they honour
+``max_concurrency``; ``adaptive`` is inherently sequential per item — each
+extra vote depends on the tally so far — and keeps the per-call path.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.core.executor import BatchRequest
 from repro.exceptions import ConfigurationError, ResponseParseError
 from repro.llm.parsing import extract_yes_no
 from repro.llm.prompts import predicate_check_prompt
@@ -76,13 +82,24 @@ class FilterOperator(BaseOperator):
         response = self._complete(
             predicate_check_prompt(item, self.predicate), model=model, temperature=temperature
         )
+        return self._parse_check(response.text)
+
+    @staticmethod
+    def _parse_check(text: str) -> bool:
         try:
-            return extract_yes_no(response.text)
+            return extract_yes_no(text)
         except ResponseParseError:
             return False
 
+    def _check_batch(self, items: Sequence[str], model: str | None) -> list[bool]:
+        """Batch the independent predicate checks; one decision per item."""
+        responses = self._complete_batch(
+            [predicate_check_prompt(item, self.predicate) for item in items], model=model
+        )
+        return [self._parse_check(response.text) for response in responses]
+
     def _run_per_item(self, items: list[str]) -> FilterResult:
-        decisions = {item: self._check(item, self.model) for item in items}
+        decisions = dict(zip(items, self._check_batch(items, self.model)))
         return FilterResult(strategy="per_item", decisions=decisions, votes_used=len(items))
 
     def _run_ensemble_vote(
@@ -92,14 +109,24 @@ class FilterOperator(BaseOperator):
         models: Sequence[str] | None = None,
         weights: Mapping[str, float] | None = None,
     ) -> FilterResult:
-        """Majority (or accuracy-weighted) vote across several models."""
+        """Majority (or accuracy-weighted) vote across several models.
+
+        Every (item, model) ballot is an independent unit task, so the whole
+        item-major grid goes out as one batch of per-model requests.
+        """
         voter_models = list(models or ([self.model] if self.model else []))
         if len(voter_models) < 2:
             raise ConfigurationError("ensemble_vote needs at least two models")
+        requests = [
+            BatchRequest(prompt=predicate_check_prompt(item, self.predicate), model=model)
+            for item in items
+            for model in voter_models
+        ]
+        responses = iter(self._complete_requests(requests))
         decisions: dict[str, bool] = {}
         votes_used = 0
         for item in items:
-            ballots = {model: self._check(item, model) for model in voter_models}
+            ballots = {model: self._parse_check(next(responses).text) for model in voter_models}
             votes_used += len(ballots)
             if weights:
                 outcome = weighted_vote(ballots, weights)

@@ -95,7 +95,7 @@ class ImputeOperator(BaseOperator):
 
     # -- strategies ------------------------------------------------------------------
 
-    def _ask_llm(
+    def _impute_prompt(
         self,
         data: ImputationDataset,
         imputer: KNNImputer,
@@ -103,12 +103,26 @@ class ImputeOperator(BaseOperator):
         n_examples: int,
     ) -> str:
         examples = imputer.examples_for(record, n_examples) if n_examples > 0 else None
-        prompt = impute_prompt(data.serialized_query(record), data.target_attribute, examples)
-        response = self._complete(prompt)
-        try:
-            return extract_value(response.text)
-        except ResponseParseError:
-            return ""
+        return impute_prompt(data.serialized_query(record), data.target_attribute, examples)
+
+    def _ask_llm_batch(
+        self,
+        data: ImputationDataset,
+        imputer: KNNImputer,
+        records: list[Record],
+        n_examples: int,
+    ) -> dict[str, str]:
+        """Batch one imputation prompt per record; record id → predicted value."""
+        responses = self._complete_batch(
+            [self._impute_prompt(data, imputer, record, n_examples) for record in records]
+        )
+        predictions: dict[str, str] = {}
+        for record, response in zip(records, responses):
+            try:
+                predictions[record.record_id] = extract_value(response.text)
+            except ResponseParseError:
+                predictions[record.record_id] = ""
+        return predictions
 
     def _run_knn(
         self, data: ImputationDataset, imputer: KNNImputer, n_examples: int
@@ -122,10 +136,7 @@ class ImputeOperator(BaseOperator):
     def _run_llm_only(
         self, data: ImputationDataset, imputer: KNNImputer, n_examples: int
     ) -> ImputeResult:
-        predictions = {
-            record.record_id: self._ask_llm(data, imputer, record, n_examples)
-            for record in data.queries
-        }
+        predictions = self._ask_llm_batch(data, imputer, list(data.queries), n_examples)
         return ImputeResult(
             strategy="llm_only", predictions=predictions, llm_queries=len(predictions)
         )
@@ -133,20 +144,25 @@ class ImputeOperator(BaseOperator):
     def _run_hybrid(
         self, data: ImputationDataset, imputer: KNNImputer, n_examples: int
     ) -> ImputeResult:
+        # First pass: the free k-NN vote decides which records need the LLM;
+        # those records' prompts then go out as one batch.  Votes are kept
+        # positionally (not keyed by record id) so duplicate ids cannot
+        # shadow one another's vote.
+        query_records = list(data.queries)
+        votes = [imputer.vote(record) for record in query_records]
+        disagreeing = [
+            record for record, vote in zip(query_records, votes) if not vote.unanimous
+        ]
+        llm_predictions = self._ask_llm_batch(data, imputer, disagreeing, n_examples)
         predictions: dict[str, str] = {}
-        llm_queries = 0
-        proxy_queries = 0
-        for record in data.queries:
-            vote = imputer.vote(record)
+        for record, vote in zip(query_records, votes):
             if vote.unanimous:
                 predictions[record.record_id] = vote.prediction
-                proxy_queries += 1
             else:
-                predictions[record.record_id] = self._ask_llm(data, imputer, record, n_examples)
-                llm_queries += 1
+                predictions[record.record_id] = llm_predictions[record.record_id]
         return ImputeResult(
             strategy="hybrid",
             predictions=predictions,
-            llm_queries=llm_queries,
-            proxy_queries=proxy_queries,
+            llm_queries=len(disagreeing),
+            proxy_queries=len(query_records) - len(disagreeing),
         )

@@ -115,12 +115,23 @@ class ResolveOperator(BaseOperator):
         clusters.extend([[index] for index in range(len(records)) if index not in covered])
         return ResolveResult(strategy="single_prompt", clusters=clusters)
 
-    def _ask_duplicate(self, left: str, right: str) -> bool:
-        response = self._complete(duplicate_check_prompt(left, right))
+    @staticmethod
+    def _parse_duplicate(text: str) -> bool:
         try:
-            return extract_yes_no(response.text)
+            return extract_yes_no(text)
         except ResponseParseError:
             return False
+
+    def _ask_duplicate(self, left: str, right: str) -> bool:
+        response = self._complete(duplicate_check_prompt(left, right))
+        return self._parse_duplicate(response.text)
+
+    def _ask_duplicates(self, pairs: Sequence[tuple[str, str]]) -> list[bool]:
+        """Batch the independent duplicate checks; one decision per pair, in order."""
+        responses = self._complete_batch(
+            [duplicate_check_prompt(left, right) for left, right in pairs]
+        )
+        return [self._parse_duplicate(response.text) for response in responses]
 
     def _clusters_from_graph(self, records: list[str], graph: MatchGraph) -> list[list[int]]:
         index_of = {record: index for index, record in enumerate(records)}
@@ -133,12 +144,16 @@ class ResolveOperator(BaseOperator):
         graph = MatchGraph()
         for record in records:
             graph.add_node(record)
-        for i in range(len(records)):
-            for j in range(i + 1, len(records)):
-                if self._ask_duplicate(records[i], records[j]):
-                    graph.add_match(records[i], records[j])
-                else:
-                    graph.add_non_match(records[i], records[j])
+        pairs = [
+            (records[i], records[j])
+            for i in range(len(records))
+            for j in range(i + 1, len(records))
+        ]
+        for (left, right), is_duplicate in zip(pairs, self._ask_duplicates(pairs)):
+            if is_duplicate:
+                graph.add_match(left, right)
+            else:
+                graph.add_non_match(left, right)
         return ResolveResult(strategy="pairwise", clusters=self._clusters_from_graph(records, graph))
 
     def _resolve_blocked_pairwise(self, records: list[str], *, block_k: int = 5) -> ResolveResult:
@@ -147,11 +162,12 @@ class ResolveOperator(BaseOperator):
         graph = MatchGraph()
         for record in records:
             graph.add_node(record)
-        for i, j in blocking.candidate_pairs:
-            if self._ask_duplicate(records[i], records[j]):
-                graph.add_match(records[i], records[j])
+        pairs = [(records[i], records[j]) for i, j in blocking.candidate_pairs]
+        for (left, right), is_duplicate in zip(pairs, self._ask_duplicates(pairs)):
+            if is_duplicate:
+                graph.add_match(left, right)
             else:
-                graph.add_non_match(records[i], records[j])
+                graph.add_non_match(left, right)
         result = ResolveResult(
             strategy="blocked_pairwise", clusters=self._clusters_from_graph(records, graph)
         )
@@ -200,8 +216,8 @@ class ResolveOperator(BaseOperator):
 
     def _judge_pairwise(self, pairs: list[tuple[str, str]]) -> PairJudgmentResult:
         judgments = [
-            PairJudgment(left=left, right=right, is_duplicate=self._ask_duplicate(left, right), source="llm")
-            for left, right in pairs
+            PairJudgment(left=left, right=right, is_duplicate=is_duplicate, source="llm")
+            for (left, right), is_duplicate in zip(pairs, self._ask_duplicates(pairs))
         ]
         return PairJudgmentResult(strategy="pairwise", judgments=judgments)
 
@@ -230,24 +246,30 @@ class ResolveOperator(BaseOperator):
         graph = MatchGraph()
         direct_answer: dict[frozenset[str], bool] = {}
 
-        def judge(left: str, right: str) -> bool:
-            key = frozenset((left, right))
-            if key not in direct_answer:
-                answer = self._ask_duplicate(left, right)
-                direct_answer[key] = answer
+        def judge_batch(queried: list[tuple[str, str]]) -> None:
+            """Ask every not-yet-judged pair in one batch and record the answers."""
+            pending_keys: set[frozenset[str]] = set()
+            unseen: list[tuple[str, str]] = []
+            for left, right in queried:
+                key = frozenset((left, right))
+                if key in direct_answer or key in pending_keys:
+                    continue
+                pending_keys.add(key)
+                unseen.append((left, right))
+            for (left, right), answer in zip(unseen, self._ask_duplicates(unseen)):
+                direct_answer[frozenset((left, right))] = answer
                 if answer:
                     graph.add_match(left, right)
                 else:
                     graph.add_non_match(left, right)
-            return direct_answer[key]
 
         judgments: list[PairJudgment] = []
         for left, right in pairs:
-            # Judge the anchor pair first, in its original orientation, so the
-            # k = 0 configuration reproduces the plain pairwise baseline exactly.
-            judge(left, right)
             # Build the comparison group: the two anchors plus their k nearest
-            # neighbors in the corpus, then judge every pair within the group.
+            # neighbors in the corpus.  The anchor pair comes first, in its
+            # original orientation, so the k = 0 configuration reproduces the
+            # plain pairwise baseline exactly; the group's remaining pairs are
+            # independent of one another and go out in the same batch.
             group = {left, right}
             if neighbors_k > 0:
                 for anchor in (left, right):
@@ -258,9 +280,12 @@ class ResolveOperator(BaseOperator):
                         corpus_texts[neighbor] for neighbor in neighbor_map.get(anchor_index, [])
                     )
             members = sorted(group)
-            for i in range(len(members)):
-                for j in range(i + 1, len(members)):
-                    judge(members[i], members[j])
+            queried = [(left, right)] + [
+                (members[i], members[j])
+                for i in range(len(members))
+                for j in range(i + 1, len(members))
+            ]
+            judge_batch(queried)
             direct = direct_answer[frozenset((left, right))]
             if direct:
                 judgments.append(
@@ -285,20 +310,23 @@ class ResolveOperator(BaseOperator):
     def _judge_proxy_hybrid(
         self, pairs: list[tuple[str, str]], *, proxy: SimilarityMatchProxy | None
     ) -> PairJudgmentResult:
-        """Answer easy pairs with a similarity proxy, the rest with the LLM."""
+        """Answer easy pairs with a similarity proxy, the rest with the LLM.
+
+        The proxy decides every pair first (no LLM cost); only the pairs it
+        abstains on are batched to the LLM.
+        """
         proxy = proxy or SimilarityMatchProxy()
+        decisions = [proxy.decide(left, right) for left, right in pairs]
+        abstained_pairs = [
+            pair for pair, decision in zip(pairs, decisions) if decision.abstained
+        ]
+        llm_answers = iter(self._ask_duplicates(abstained_pairs))
         judgments: list[PairJudgment] = []
-        llm_pairs = 0
-        for left, right in pairs:
-            decision = proxy.decide(left, right)
+        for (left, right), decision in zip(pairs, decisions):
             if decision.abstained:
-                llm_pairs += 1
                 judgments.append(
                     PairJudgment(
-                        left=left,
-                        right=right,
-                        is_duplicate=self._ask_duplicate(left, right),
-                        source="llm",
+                        left=left, right=right, is_duplicate=next(llm_answers), source="llm"
                     )
                 )
             else:
@@ -307,6 +335,7 @@ class ResolveOperator(BaseOperator):
                         left=left, right=right, is_duplicate=bool(decision.label), source="proxy"
                     )
                 )
+        llm_pairs = len(abstained_pairs)
         result = PairJudgmentResult(strategy="proxy_hybrid", judgments=judgments)
         result.metadata["llm_pairs"] = llm_pairs
         result.metadata["proxy_pairs"] = len(pairs) - llm_pairs

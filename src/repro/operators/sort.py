@@ -133,34 +133,49 @@ class SortOperator(BaseOperator):
         )
 
     def _run_rating(self, items: list[str], *, batch_size: int = 1) -> SortResult:
-        """O(n) rating tasks, sorted by rating (descending), ties by input order."""
+        """O(n) rating tasks, sorted by rating (descending), ties by input order.
+
+        All rating prompts are independent, so they are dispatched as one
+        batch through the operator's executor.
+        """
         if batch_size < 1:
             raise DatasetError("batch_size must be at least 1")
         ratings: dict[str, float] = {}
         if batch_size == 1:
-            for item in items:
-                response = self._complete(rating_prompt(item, self.criterion))
+            responses = self._complete_batch(
+                [rating_prompt(item, self.criterion) for item in items]
+            )
+            for item, response in zip(items, responses):
                 ratings[item] = float(extract_integer(response.text, minimum=1, maximum=7))
         else:
-            for start in range(0, len(items), batch_size):
-                batch = items[start : start + batch_size]
-                response = self._complete(rating_batch_prompt(batch, self.criterion))
-                for item, value in zip(batch, extract_ratings(response.text, len(batch))):
+            chunks = [items[start : start + batch_size] for start in range(0, len(items), batch_size)]
+            responses = self._complete_batch(
+                [rating_batch_prompt(chunk, self.criterion) for chunk in chunks]
+            )
+            for chunk, response in zip(chunks, responses):
+                for item, value in zip(chunk, extract_ratings(response.text, len(chunk))):
                     ratings[item] = float(min(7, max(1, value)))
         order = sorted(items, key=lambda item: -ratings[item])
         return SortResult(strategy="rating", order=order, scores=dict(ratings))
 
     def _collect_pairwise(self, items: list[str]) -> dict[tuple[str, str], bool]:
-        """Ask one comparison per unordered pair; True means first ranks higher."""
+        """Ask one comparison per unordered pair; True means first ranks higher.
+
+        The O(n²) comparisons are independent unit tasks and go out as one
+        batch — this is the workload where concurrency buys the most.
+        """
+        pairs = [
+            (items[i], items[j])
+            for i in range(len(items))
+            for j in range(i + 1, len(items))
+        ]
+        responses = self._complete_batch(
+            [pairwise_comparison_prompt(first, second, self.criterion) for first, second in pairs]
+        )
         comparisons: dict[tuple[str, str], bool] = {}
-        for i in range(len(items)):
-            for j in range(i + 1, len(items)):
-                first, second = items[i], items[j]
-                response = self._complete(
-                    pairwise_comparison_prompt(first, second, self.criterion)
-                )
-                choice = extract_choice(response.text, ["A", "B"])
-                comparisons[(first, second)] = choice == "A"
+        for (first, second), response in zip(pairs, responses):
+            choice = extract_choice(response.text, ["A", "B"])
+            comparisons[(first, second)] = choice == "A"
         return comparisons
 
     def _run_pairwise(self, items: list[str]) -> SortResult:
@@ -192,15 +207,19 @@ class SortOperator(BaseOperator):
         coarse = self._run_single_prompt(items)
         order = list(coarse.order)
         for missing_item in coarse.missing:
-            judged_before: dict[str, bool] = {}
+            # Each insertion depends on the order produced by the previous one,
+            # so insertions stay sequential — but within one insertion the
+            # comparisons against every placed item (both operand orders, to
+            # cancel position bias) are independent and run as one batch.
+            prompts: list[str] = []
             for other in order:
-                # Two prompts with swapped operand order cancel position bias.
-                first_response = self._complete(
-                    pairwise_comparison_prompt(missing_item, other, self.criterion)
-                )
-                second_response = self._complete(
-                    pairwise_comparison_prompt(other, missing_item, self.criterion)
-                )
+                prompts.append(pairwise_comparison_prompt(missing_item, other, self.criterion))
+                prompts.append(pairwise_comparison_prompt(other, missing_item, self.criterion))
+            responses = self._complete_batch(prompts)
+            judged_before: dict[str, bool] = {}
+            for position_index, other in enumerate(order):
+                first_response = responses[2 * position_index]
+                second_response = responses[2 * position_index + 1]
                 first_says_before = extract_choice(first_response.text, ["A", "B"]) == "A"
                 second_says_before = extract_choice(second_response.text, ["A", "B"]) == "B"
                 if first_says_before == second_says_before:

@@ -1,0 +1,290 @@
+"""Tests for the batched/concurrent execution layer (`repro.core.executor`).
+
+Covers ordered result return, the client-level ``complete_batch`` equivalence
+with the sequential ``complete`` loop across batch sizes {1, 2, 7, 64} and
+``max_concurrency`` {1, 4}, per-call retry integration, and budget-aware early
+stopping.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.executor import BatchExecutor, BatchRequest
+from repro.data.words import random_words
+from repro.exceptions import BudgetExceededError, ConfigurationError
+from repro.llm.base import LLMResponse, sequential_complete_batch
+from repro.llm.cache import CachedClient
+from repro.llm.oracle import Oracle
+from repro.llm.prompts import rating_prompt
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.tracker import TrackedClient, UsageTracker
+from repro.tokenizer.cost import Usage
+
+BATCH_SIZES = (1, 2, 7, 64)
+CONCURRENCIES = (1, 4)
+CRITERION = "alphabetical order"
+
+
+def _simulated_client(seed: int = 3) -> SimulatedLLM:
+    oracle = Oracle()
+    oracle.register_key(CRITERION, lambda word: word.lower())
+    return SimulatedLLM(oracle, seed=seed)
+
+
+class EchoClient:
+    """Deterministic fake client that counts calls and optionally charges a budget."""
+
+    default_model = "echo"
+
+    def __init__(self, budget: Budget | None = None, charge: float = 0.0) -> None:
+        self.budget = budget
+        self.charge = charge
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        with self._lock:
+            self.calls += 1
+        if self.budget is not None:
+            self.budget.charge(self.charge)
+        return LLMResponse(
+            text=f"echo:{prompt}", model=model or self.default_model, usage=Usage(1, 1, 1)
+        )
+
+
+def _rating_prompts(count: int) -> list[str]:
+    return [rating_prompt(word, CRITERION) for word in random_words(count, seed=5)]
+
+
+class TestBatchExecutorBasics:
+    def test_results_in_input_order(self):
+        client = EchoClient()
+        executor = BatchExecutor(client, max_concurrency=4)
+        prompts = [f"prompt-{index}" for index in range(20)]
+        responses = executor.run(prompts)
+        assert [response.text for response in responses] == [f"echo:{p}" for p in prompts]
+        assert client.calls == 20
+
+    def test_empty_batch(self):
+        executor = BatchExecutor(EchoClient())
+        assert executor.run([]) == []
+
+    def test_plain_strings_promoted_to_requests(self):
+        executor = BatchExecutor(EchoClient())
+        responses = executor.run(["a", BatchRequest(prompt="b", model="other")])
+        assert responses[0].model == "echo"
+        assert responses[1].model == "other"
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchExecutor(EchoClient(), max_concurrency=0)
+
+
+class TestClientBatchEquivalence:
+    """complete_batch == [complete(p) for p in prompts] at temperature 0."""
+
+    @pytest.mark.parametrize("size", BATCH_SIZES)
+    def test_simulated_client(self, size):
+        prompts = _rating_prompts(size)
+        batch = _simulated_client().complete_batch(prompts)
+        loop = sequential_complete_batch(_simulated_client(), prompts)
+        assert [r.text for r in batch] == [r.text for r in loop]
+        assert [r.usage for r in batch] == [r.usage for r in loop]
+
+    @pytest.mark.parametrize("size", BATCH_SIZES)
+    def test_cached_client(self, size):
+        # Repeat every prompt so within-batch dedup is exercised.
+        prompts = _rating_prompts(size) * 2
+        batch_client = CachedClient(_simulated_client())
+        loop_client = CachedClient(_simulated_client())
+        batch = batch_client.complete_batch(prompts)
+        loop = sequential_complete_batch(loop_client, prompts)
+        assert [r.text for r in batch] == [r.text for r in loop]
+        assert [r.usage for r in batch] == [r.usage for r in loop]
+        assert [r.metadata.get("cache_hit") for r in batch] == [
+            r.metadata.get("cache_hit") for r in loop
+        ]
+        assert batch_client.cache.stats.hits == loop_client.cache.stats.hits
+        assert batch_client.cache.stats.misses == loop_client.cache.stats.misses
+
+    @pytest.mark.parametrize("size", BATCH_SIZES)
+    def test_tracked_client(self, size):
+        prompts = _rating_prompts(size)
+        batch_tracker, loop_tracker = UsageTracker(), UsageTracker()
+        batch = TrackedClient(_simulated_client(), batch_tracker).complete_batch(
+            prompts
+        )
+        loop = sequential_complete_batch(
+            TrackedClient(_simulated_client(), loop_tracker), prompts
+        )
+        assert [r.text for r in batch] == [r.text for r in loop]
+        assert batch_tracker.usage == loop_tracker.usage
+        assert batch_tracker.calls == size
+
+    @pytest.mark.parametrize("size", BATCH_SIZES)
+    @pytest.mark.parametrize("concurrency", CONCURRENCIES)
+    def test_executor_matches_sequential_loop(self, size, concurrency):
+        prompts = _rating_prompts(size)
+        executor_client = TrackedClient(
+            CachedClient(_simulated_client()), UsageTracker()
+        )
+        executor = BatchExecutor(executor_client, max_concurrency=concurrency)
+        reference = sequential_complete_batch(
+            TrackedClient(CachedClient(_simulated_client()), UsageTracker()),
+            prompts,
+        )
+        responses = executor.run(prompts)
+        assert [r.text for r in responses] == [r.text for r in reference]
+        assert [r.usage for r in responses] == [r.usage for r in reference]
+
+
+class TestRetryIntegration:
+    def test_validator_triggers_retries_and_stats(self):
+        client = EchoClient()
+        executor = BatchExecutor(
+            client,
+            max_concurrency=2,
+            validator=lambda text: not text.endswith("bad"),
+            max_retries=2,
+        )
+        responses = executor.run(["good-1", "bad", "good-2"])
+        assert [r.text for r in responses] == ["echo:good-1", "echo:bad", "echo:good-2"]
+        assert executor.retry_stats is not None
+        # The rejected prompt was attempted 1 + max_retries times.
+        assert executor.retry_stats.attempts == 2 + 3
+        assert executor.retry_stats.retries == 2
+        assert executor.retry_stats.failures == 1
+        assert responses[1].metadata["attempts"] == 3
+        # All attempts' usage is accumulated onto the returned response.
+        assert responses[1].usage.calls == 3
+
+    def test_no_validator_means_no_retry_stats(self):
+        executor = BatchExecutor(EchoClient())
+        executor.run(["a"])
+        assert executor.retry_stats is None
+
+
+class TestBudgetEarlyStopping:
+    def test_exhausted_budget_stops_before_any_dispatch(self):
+        budget = Budget(limit=1.0)
+        budget.charge(1.0)
+        client = EchoClient()
+        executor = BatchExecutor(client, max_concurrency=1, budget=budget)
+        with pytest.raises(BudgetExceededError):
+            executor.run([f"p{i}" for i in range(10)])
+        assert client.calls == 0
+
+    def test_budget_stops_batch_midway_sequentially(self):
+        budget = Budget(limit=1.0)
+        client = EchoClient(budget=budget, charge=0.4)
+        executor = BatchExecutor(client, budget=budget)
+        with pytest.raises(BudgetExceededError):
+            executor.run([f"p{i}" for i in range(10)])
+        # 0.4 + 0.4 fit the budget, the third charge exceeds it, and the
+        # remaining seven unit tasks are never dispatched.
+        assert client.calls == 3
+
+    def test_concurrent_workers_observe_exhaustion(self):
+        budget = Budget(limit=0.5)
+        budget.charge(0.5)
+        client = EchoClient()
+        executor = BatchExecutor(client, max_concurrency=4, budget=budget)
+        with pytest.raises(BudgetExceededError):
+            executor.run([f"p{i}" for i in range(16)])
+        assert client.calls == 0
+
+    def test_unlimited_budget_never_stops(self):
+        client = EchoClient()
+        executor = BatchExecutor(client, budget=Budget())
+        assert len(executor.run([f"p{i}" for i in range(5)])) == 5
+        assert client.calls == 5
+
+
+class TestConcurrentDuplicateHandling:
+    """Duplicate temperature-0 prompts must not race past a downstream cache."""
+
+    def test_duplicates_served_from_one_inner_call_through_cache(self):
+        inner = EchoClient()
+        executor = BatchExecutor(CachedClient(inner), max_concurrency=4)
+        responses = executor.run(["same"] * 8)
+        assert inner.calls == 1
+        assert [r.text for r in responses] == ["echo:same"] * 8
+        # The first occurrence is the real call; the rest are zero-usage hits,
+        # exactly like the sequential loop.
+        assert responses[0].metadata.get("cache_hit") is None
+        assert all(r.metadata.get("cache_hit") is True for r in responses[1:])
+        assert all(r.usage.calls == 0 for r in responses[1:])
+
+    def test_duplicates_without_cache_each_pay_their_call(self):
+        client = EchoClient()
+        executor = BatchExecutor(client, max_concurrency=4)
+        responses = executor.run(["same"] * 8)
+        # Matches the sequential loop through an uncached client.
+        assert client.calls == 8
+        assert all(r.usage.calls == 1 for r in responses)
+
+    def test_nonzero_temperature_duplicates_stay_independent(self):
+        client = EchoClient()
+        executor = BatchExecutor(CachedClient(client), max_concurrency=4)
+        executor.run([BatchRequest(prompt="same", temperature=0.7)] * 6)
+        assert client.calls == 6
+
+    def test_dedup_keys_on_cache_key_not_full_request(self):
+        # Requests differing only in max_tokens share a (model, prompt) cache
+        # entry, so only one may go to the pool — like the sequential path,
+        # where the second is a cache hit.
+        inner = EchoClient()
+        executor = BatchExecutor(CachedClient(inner), max_concurrency=4)
+        responses = executor.run(
+            [BatchRequest(prompt="same", max_tokens=100), BatchRequest(prompt="same", max_tokens=200)]
+        )
+        assert inner.calls == 1
+        assert responses[1].metadata.get("cache_hit") is True
+
+    def test_unit_task_error_stops_dispatching_queued_tasks(self):
+        class FailingClient(EchoClient):
+            def complete(self, prompt, **kwargs):
+                if prompt == "boom":
+                    with self._lock:
+                        self.calls += 1
+                    raise ValueError("simulated API failure")
+                return super().complete(prompt, **kwargs)
+
+        client = FailingClient()
+        executor = BatchExecutor(client, max_concurrency=2)
+        with pytest.raises(ValueError):
+            executor.run(["ok-1", "boom"] + [f"queued-{i}" for i in range(40)])
+        # The queued tail was cancelled once the failure surfaced; only the
+        # few tasks already in flight (at most a handful) ran.
+        assert client.calls < 10
+
+
+class TestEngineBudgetEnforcement:
+    """The engine threads its session budget into every operator's executor."""
+
+    def test_operator_batch_stops_at_the_limit(self):
+        from repro.core import DeclarativeEngine
+        from repro.core.spec import SortSpec
+        from repro.data.words import random_words
+        from repro.exceptions import BudgetExceededError as Exceeded
+
+        engine = DeclarativeEngine(
+            _simulated_client(), budget=Budget(limit=1e-6), max_concurrency=1
+        )
+        words = random_words(12, seed=47)
+        with pytest.raises(Exceeded):
+            engine.sort(SortSpec(items=words, criterion=CRITERION, strategy="pairwise"))
+        # The limit interrupted the 66-comparison batch near its start instead
+        # of charging the whole batch after the fact.
+        assert engine.session.tracker.calls < 5

@@ -1,6 +1,14 @@
-"""Tests for the response cache and the usage tracker."""
+"""Tests for the response cache and the usage tracker.
+
+Includes the thread-safety hammer tests backing the batched execution layer:
+the cache and tracker are pounded from a thread pool and must not lose a
+single update (exact call/token totals, consistent hit/miss accounting).
+"""
 
 from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -93,3 +101,90 @@ class TestUsageTracker:
         TrackedClient(flavor_llm, tracker).complete(rating_prompt(FLAVORS[0], CHOCOLATEY))
         tracker.reset()
         assert tracker.calls == 0
+
+
+# Pinned in CI (see .github/workflows/ci.yml) so the hammer tests are
+# reproducible across runners; locally defaults to 8 threads.
+THREADS = int(os.environ.get("REPRO_TEST_THREADS", "8"))
+
+
+class TestResponseCacheThreadSafety:
+    def test_no_lost_hit_or_miss_updates(self):
+        cache = ResponseCache()
+        prompts = [f"prompt-{index}" for index in range(50)]
+        for prompt in prompts:
+            cache.put("m", prompt, LLMResponse(text=prompt, model="m"))
+        rounds_per_worker = 40
+
+        def hammer(worker: int) -> int:
+            hits = 0
+            for round_index in range(rounds_per_worker):
+                for prompt in prompts:
+                    if cache.get("m", prompt) is not None:
+                        hits += 1
+                # Sprinkle misses and puts into the mix.
+                assert cache.get("m", f"missing-{worker}-{round_index}") is None
+                cache.put("m", f"extra-{worker}-{round_index}", LLMResponse(text="x", model="m"))
+            return hits
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            hit_counts = list(pool.map(hammer, range(THREADS)))
+
+        expected_hits = THREADS * rounds_per_worker * len(prompts)
+        expected_misses = THREADS * rounds_per_worker
+        assert sum(hit_counts) == expected_hits
+        assert cache.stats.hits == expected_hits
+        assert cache.stats.misses == expected_misses
+        assert cache.stats.requests == expected_hits + expected_misses
+
+    def test_concurrent_puts_respect_capacity(self):
+        cache = ResponseCache(max_entries=64)
+
+        def hammer(worker: int) -> None:
+            for index in range(200):
+                cache.put("m", f"prompt-{worker}-{index}", LLMResponse(text="x", model="m"))
+                assert len(cache) <= 64
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+        assert len(cache) == 64
+
+
+class TestUsageTrackerThreadSafety:
+    def test_no_lost_usage_updates(self):
+        tracker = UsageTracker()
+        per_worker = 500
+
+        def hammer(worker: int) -> None:
+            model = f"model-{worker % 3}"
+            for _ in range(per_worker):
+                tracker.record(
+                    LLMResponse(text="x", model=model, usage=Usage(3, 2, 1))
+                )
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        total_calls = THREADS * per_worker
+        assert tracker.calls == total_calls
+        assert tracker.prompt_tokens == 3 * total_calls
+        assert tracker.completion_tokens == 2 * total_calls
+        by_model = tracker.summary().by_model
+        assert sum(usage.calls for usage in by_model.values()) == total_calls
+
+    def test_no_lost_batch_updates(self):
+        tracker = UsageTracker()
+        batches_per_worker = 50
+        batch_size = 10
+
+        def hammer(worker: int) -> None:
+            responses = [
+                LLMResponse(text="x", model="m", usage=Usage(1, 1, 1)) for _ in range(batch_size)
+            ]
+            for _ in range(batches_per_worker):
+                tracker.record_batch(responses)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        assert tracker.calls == THREADS * batches_per_worker * batch_size

@@ -11,6 +11,8 @@ from hypothesis import strategies as st
 from repro.consistency.ranking_repair import alignment_insert_position, count_inversions
 from repro.consistency.transitivity import MatchGraph
 from repro.core.budget import Budget
+from repro.llm.base import LLMResponse, sequential_complete_batch
+from repro.llm.cache import CachedClient
 from repro.llm.prompts import build_structured_prompt, parse_structured_prompt
 from repro.metrics.classification import BinaryConfusion, confusion_from_pairs
 from repro.metrics.ranking import kendall_tau_b, ranking_alignment
@@ -187,3 +189,59 @@ class TestVotingAndBudgetProperties:
         for charge in charges:
             budget.charge(charge)
         assert budget.spent == sum(charges) or abs(budget.spent - sum(charges)) < 1e-9
+
+
+class _CountingEchoClient:
+    """Deterministic echo client that counts how many calls actually go out."""
+
+    default_model = "echo"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def complete(self, prompt, *, model=None, temperature=0.0, max_tokens=None):
+        self.calls += 1
+        return LLMResponse(
+            text=f"echo:{prompt}", model=model or self.default_model, usage=Usage(1, 1, 1)
+        )
+
+
+class TestCachedBatchProperties:
+    """Properties of CachedClient.complete_batch on random prompt lists."""
+
+    @given(st.lists(_word, min_size=1, max_size=12), st.data())
+    @settings(max_examples=60)
+    def test_same_responses_and_strictly_fewer_inner_calls(self, prompts, data):
+        # Force at least one duplicate so "strictly fewer" is well-defined.
+        prompts = prompts + [data.draw(st.sampled_from(prompts))]
+        uncached = _CountingEchoClient()
+        inner = _CountingEchoClient()
+        cached = CachedClient(inner)
+        plain_responses = sequential_complete_batch(uncached, prompts)
+        cached_responses = cached.complete_batch(prompts)
+        assert [r.text for r in cached_responses] == [r.text for r in plain_responses]
+        assert inner.calls < uncached.calls
+        assert uncached.calls == len(prompts)
+
+    @given(st.lists(_word, min_size=1, max_size=12), st.data())
+    @settings(max_examples=60)
+    def test_duplicates_within_one_batch_share_a_single_inner_call(self, prompts, data):
+        prompts = prompts + [data.draw(st.sampled_from(prompts))]
+        inner = _CountingEchoClient()
+        CachedClient(inner).complete_batch(prompts)
+        assert inner.calls == len(set(prompts))
+
+    @given(st.lists(_word, min_size=1, max_size=12))
+    @settings(max_examples=60)
+    def test_batch_equals_sequential_loop_through_the_cache(self, prompts):
+        batch_client = CachedClient(_CountingEchoClient())
+        loop_client = CachedClient(_CountingEchoClient())
+        batch = batch_client.complete_batch(prompts)
+        loop = sequential_complete_batch(loop_client, prompts)
+        assert [r.text for r in batch] == [r.text for r in loop]
+        assert [r.usage for r in batch] == [r.usage for r in loop]
+        assert [r.metadata.get("cache_hit") for r in batch] == [
+            r.metadata.get("cache_hit") for r in loop
+        ]
+        assert batch_client.cache.stats.hits == loop_client.cache.stats.hits
+        assert batch_client.cache.stats.misses == loop_client.cache.stats.misses
