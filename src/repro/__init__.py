@@ -22,7 +22,7 @@ Quickstart::
 from repro.core.budget import Budget
 from repro.core.engine import DeclarativeEngine
 from repro.core.session import PromptSession
-from repro.core.spec import ImputeSpec, ResolveSpec, SortSpec
+from repro.core.spec import ImputeSpec, PipelineSpec, PipelineStep, ResolveSpec, SortSpec
 from repro.core.workflow import Workflow
 from repro.exceptions import (
     BudgetExceededError,
@@ -57,6 +57,8 @@ __all__ = [
     "ImputeOperator",
     "ImputeSpec",
     "Oracle",
+    "PipelineSpec",
+    "PipelineStep",
     "PromptSession",
     "ReproError",
     "ResolveOperator",

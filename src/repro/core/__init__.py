@@ -6,30 +6,47 @@ validation sample; the engine decides *how* — which prompting strategy, which
 model, how many unit tasks — and runs it while enforcing the budget.
 """
 
-from repro.core.budget import Budget
+from repro.core.budget import Budget, BudgetLease
+from repro.core.dag import topological_waves, transitive_dependencies
 from repro.core.engine import DeclarativeEngine
-from repro.core.executor import BatchExecutor, BatchRequest
+from repro.core.executor import BatchExecutor, BatchRequest, TaskOutcome
 from repro.core.optimizer import StrategyCandidate, StrategyEvaluation, StrategySelector
-from repro.core.planner import CostEstimate, CostPlanner
-from repro.core.session import PromptSession
-from repro.core.spec import ImputeSpec, ResolveSpec, SortSpec, TaskSpec
-from repro.core.workflow import Workflow, WorkflowStep
+from repro.core.planner import CostEstimate, CostPlanner, PipelineQuote
+from repro.core.session import BudgetScopedSession, PromptSession
+from repro.core.spec import (
+    ImputeSpec,
+    PipelineSpec,
+    PipelineStep,
+    ResolveSpec,
+    SortSpec,
+    TaskSpec,
+)
+from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
 
 __all__ = [
     "BatchExecutor",
     "BatchRequest",
     "Budget",
+    "BudgetLease",
+    "BudgetScopedSession",
     "CostEstimate",
     "CostPlanner",
     "DeclarativeEngine",
     "ImputeSpec",
+    "PipelineQuote",
+    "PipelineSpec",
+    "PipelineStep",
     "PromptSession",
     "ResolveSpec",
     "SortSpec",
     "StrategyCandidate",
     "StrategyEvaluation",
     "StrategySelector",
+    "TaskOutcome",
     "TaskSpec",
+    "topological_waves",
+    "transitive_dependencies",
     "Workflow",
+    "WorkflowReport",
     "WorkflowStep",
 ]

@@ -79,3 +79,87 @@ class Budget:
     def absorb(self, child: "Budget") -> None:
         """Fold a sub-budget's spending back into this budget."""
         self.charge(child.spent)
+
+    def lease(self, allocation: float) -> "BudgetLease":
+        """A spend cap of ``allocation`` dollars layered over this budget.
+
+        Unlike :meth:`reserve`, a lease stays attached to its parent: every
+        ``lease.charge`` both counts against the allocation and is forwarded
+        here, so the shared budget sees all spending while the lease measures
+        only the charges routed through it.  The pipeline scheduler gives
+        each step a lease and charges that step's LLM calls through it, so a
+        step's batches stop once its apportioned share is gone — and
+        concurrent sibling steps never count against each other.  A lease
+        constrains even when the parent is unlimited (that is how a
+        pipeline-level ``budget_dollars`` cap works on a session with no
+        global limit).
+        """
+        return BudgetLease(self, allocation)
+
+
+class BudgetLease:
+    """A spend cap over a parent :class:`Budget` (or another lease).
+
+    Exposes the same surface an executor or session checks (``unlimited``,
+    ``remaining``, ``spent``, ``limit``, ``charge``).  Every charge is
+    recorded against the lease's own counter *and* forwarded to the parent,
+    so a lease only ever measures the spending routed through it: concurrent
+    sibling steps each charging their own lease never count against each
+    other, while the shared parent still sees every dollar.
+    """
+
+    def __init__(self, parent: "Budget | BudgetLease", allocation: float) -> None:
+        if allocation < 0:
+            raise ConfigurationError("lease allocation must be non-negative")
+        self.parent = parent
+        self.allocation = allocation
+        self._own_spent = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def unlimited(self) -> bool:
+        """Always limited: the allocation caps spending even under an unlimited parent."""
+        return False
+
+    @property
+    def limit(self) -> float:
+        return self.allocation
+
+    @property
+    def spent(self) -> float:
+        """Dollars charged through this lease."""
+        return self._own_spent
+
+    @property
+    def remaining(self) -> float:
+        """Dollars left under both the allocation and the parent's limit."""
+        own = max(0.0, self.allocation - self._own_spent)
+        return min(self.parent.remaining, own)
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether ``amount`` more fits under the allocation and the parent."""
+        return (
+            self._own_spent + amount <= self.allocation + 1e-12
+            and self.parent.can_afford(amount)
+        )
+
+    def charge(self, amount: float) -> None:
+        """Record a spend against the lease and forward it to the parent.
+
+        Raises:
+            BudgetExceededError: if the charge pushes past the allocation
+                (or the parent's limit).  Like :meth:`Budget.charge`, the
+                charge is still recorded so callers can report overshoot.
+        """
+        if amount < 0:
+            raise ConfigurationError("cannot charge a negative amount")
+        with self._lock:
+            self._own_spent += amount
+            own = self._own_spent
+        self.parent.charge(amount)
+        if own > self.allocation + 1e-12:
+            raise BudgetExceededError(own, self.allocation)
+
+    def lease(self, allocation: float) -> "BudgetLease":
+        """A sub-lease (pipeline cap → per-step share nests this way)."""
+        return BudgetLease(self, allocation)

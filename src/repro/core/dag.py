@@ -1,0 +1,99 @@
+"""Dependency-graph utilities shared by the pipeline spec and scheduler.
+
+A pipeline is a set of named steps plus ``depends_on`` edges.  This module
+holds the pure graph algorithms both layers need: validation (duplicate
+names, unknown dependencies, cycles), the wave decomposition the scheduler
+executes (Kahn's algorithm by levels), and the transitive-dependency closure
+that determines which upstream results a step is allowed to read.
+
+Everything here is deterministic: waves and closures follow the insertion
+order of the input mapping, never thread timing, so two runs of the same
+pipeline — at any concurrency — see identical step orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import SpecError
+
+
+def validate_dependencies(dependencies: Mapping[str, Sequence[str]]) -> None:
+    """Check that every dependency names a known step.
+
+    Raises:
+        SpecError: if a step depends on a name not present in the mapping.
+    """
+    names = set(dependencies)
+    for name, deps in dependencies.items():
+        unknown = sorted(set(deps) - names)
+        if unknown:
+            raise SpecError(
+                f"step {name!r} depends on unknown step(s): {', '.join(repr(d) for d in unknown)}"
+            )
+
+
+def topological_waves(dependencies: Mapping[str, Sequence[str]]) -> list[list[str]]:
+    """Decompose a dependency graph into executable waves.
+
+    Wave ``k`` contains every step whose dependencies all completed in waves
+    ``< k``; steps within one wave are mutually independent and may run
+    concurrently.  Within a wave, steps keep the mapping's insertion order.
+
+    Raises:
+        SpecError: on unknown dependencies or dependency cycles.
+    """
+    validate_dependencies(dependencies)
+    done: set[str] = set()
+    remaining = list(dependencies)
+    waves: list[list[str]] = []
+    while remaining:
+        ready = [name for name in remaining if all(dep in done for dep in dependencies[name])]
+        if not ready:
+            cycle = ", ".join(repr(name) for name in remaining)
+            raise SpecError(f"dependency cycle among steps: {cycle}")
+        waves.append(ready)
+        done.update(ready)
+        remaining = [name for name in remaining if name not in done]
+    return waves
+
+
+def transitive_dependencies(
+    dependencies: Mapping[str, Sequence[str]]
+) -> dict[str, list[str]]:
+    """Transitive dependency closure of every step.
+
+    The closure of a step is every step reachable by following ``depends_on``
+    edges; it is the set of upstream results the step may read.  Each closure
+    is returned in the mapping's insertion order.  Assumes the graph already
+    passed :func:`topological_waves` (no cycles, no unknown names).
+    """
+    closures: dict[str, set[str]] = {}
+
+    def closure(start: str) -> set[str]:
+        # Iterative post-order DFS: a dependency chain can be thousands of
+        # steps deep, which must not hit the interpreter recursion limit.
+        stack = [start]
+        while stack:
+            node = stack[-1]
+            if node in closures:
+                stack.pop()
+                continue
+            missing = [dep for dep in dependencies[node] if dep not in closures]
+            if missing:
+                stack.extend(missing)
+                continue
+            reached: set[str] = set()
+            for dep in dependencies[node]:
+                reached.add(dep)
+                reached.update(closures[dep])
+            closures[node] = reached
+            stack.pop()
+        return closures[start]
+
+    order = list(dependencies)
+    result: dict[str, list[str]] = {}
+    for name in order:
+        reached = closure(name)
+        result[name] = [dep for dep in order if dep in reached]
+    return result

@@ -10,16 +10,26 @@ pool; at temperature 0 results are identical to sequential execution.  When a sp
 validation sample, the engine uses the :class:`~repro.core.optimizer.
 StrategySelector` to pick a strategy before running the full task — the
 AutoML-style loop the paper sketches in Section 4.
+
+Multi-operator workflows go through :meth:`DeclarativeEngine.run_pipeline`:
+a :class:`~repro.core.spec.PipelineSpec` declares named steps (operator
+specs or plain callables) connected by ``depends_on`` edges, the engine
+quotes the whole pipeline a priori (:meth:`DeclarativeEngine.quote_pipeline`)
+and the DAG scheduler in :mod:`repro.core.workflow` runs independent steps
+concurrently while apportioning the remaining session budget across the
+pending steps.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
-from repro.core.budget import Budget
+from repro.core.budget import Budget, BudgetLease
 from repro.core.optimizer import StrategyCandidate, StrategySelector
+from repro.core.planner import CostPlanner, PipelineQuote
 from repro.core.session import PromptSession
-from repro.core.spec import ImputeSpec, ResolveSpec, SortSpec
+from repro.core.spec import ImputeSpec, PipelineSpec, ResolveSpec, SortSpec, TaskSpec
+from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
 from repro.data.products import ImputationDataset
 from repro.data.record import Dataset
 from repro.exceptions import SpecError
@@ -52,15 +62,17 @@ class DeclarativeEngine:
 
     # -- helpers -----------------------------------------------------------------
 
-    def _operator_kwargs(self) -> dict:
+    def _operator_kwargs(self, budget: Budget | BudgetLease | None = None) -> dict:
         return {
             "model": self.default_model,
             "cost_model": self.session.cost_model,
             "max_concurrency": self.session.max_concurrency,
             # Hand the session budget to every operator's executor so a spend
             # limit stops a large batch between unit tasks, not after the
-            # whole batch has been dispatched.
-            "budget": self.session.budget,
+            # whole batch has been dispatched.  A pipeline step passes its
+            # per-step BudgetLease instead, capping the step at its
+            # apportioned share of the remaining dollars.
+            "budget": budget if budget is not None else self.session.budget,
         }
 
     @property
@@ -70,17 +82,23 @@ class DeclarativeEngine:
 
     # -- sort ---------------------------------------------------------------------
 
-    def sort(self, spec: SortSpec) -> SortResult:
+    def sort(
+        self, spec: SortSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> SortResult:
         """Execute a sort spec, choosing a strategy automatically if asked."""
         spec.validate()
         strategy = spec.strategy
         options = dict(spec.strategy_options)
         if strategy == "auto":
-            strategy, options = self._choose_sort_strategy(spec)
-        operator = SortOperator(self.session.client(), spec.criterion, **self._operator_kwargs())
+            strategy, options = self._choose_sort_strategy(spec, budget=budget)
+        operator = SortOperator(
+            self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
+        )
         return operator.run(list(spec.items), strategy=strategy, **options)
 
-    def _choose_sort_strategy(self, spec: SortSpec) -> tuple[str, dict]:
+    def _choose_sort_strategy(
+        self, spec: SortSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> tuple[str, dict]:
         if len(spec.validation_order) < 3:
             # Without labels there is nothing to optimize against; default to
             # the paper's most accurate general-purpose strategy.
@@ -94,7 +112,7 @@ class DeclarativeEngine:
 
         def run_candidate(candidate: StrategyCandidate) -> SortResult:
             operator = SortOperator(
-                self.session.client(), spec.criterion, **self._operator_kwargs()
+                self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
             )
             return operator.run(validation_items, strategy=candidate.name, **candidate.options)
 
@@ -121,7 +139,9 @@ class DeclarativeEngine:
 
     # -- resolve ------------------------------------------------------------------
 
-    def resolve(self, spec: ResolveSpec) -> PairJudgmentResult:
+    def resolve(
+        self, spec: ResolveSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> PairJudgmentResult:
         """Execute a resolve spec over labelled or unlabelled pairs."""
         spec.validate()
         if not spec.pairs:
@@ -132,8 +152,8 @@ class DeclarativeEngine:
         strategy = spec.strategy
         options = dict(spec.strategy_options)
         if strategy == "auto":
-            strategy, options = self._choose_resolve_strategy(spec)
-        operator = ResolveOperator(self.session.client(), **self._operator_kwargs())
+            strategy, options = self._choose_resolve_strategy(spec, budget=budget)
+        operator = ResolveOperator(self.session.client(budget), **self._operator_kwargs(budget))
         return operator.judge_pairs(
             list(spec.pairs),
             strategy=strategy,
@@ -142,7 +162,9 @@ class DeclarativeEngine:
             **options,
         )
 
-    def _choose_resolve_strategy(self, spec: ResolveSpec) -> tuple[str, dict]:
+    def _choose_resolve_strategy(
+        self, spec: ResolveSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> tuple[str, dict]:
         labels = dict(spec.validation_labels)
         if len(labels) < 5:
             return "transitive", {"neighbors_k": spec.neighbors_k}
@@ -156,7 +178,7 @@ class DeclarativeEngine:
         ]
 
         def run_candidate(candidate: StrategyCandidate) -> PairJudgmentResult:
-            operator = ResolveOperator(self.session.client(), **self._operator_kwargs())
+            operator = ResolveOperator(self.session.client(budget), **self._operator_kwargs(budget))
             return operator.judge_pairs(
                 validation_pairs,
                 strategy=candidate.name,
@@ -184,18 +206,22 @@ class DeclarativeEngine:
 
     # -- impute -------------------------------------------------------------------
 
-    def impute(self, spec: ImputeSpec) -> ImputeResult:
+    def impute(
+        self, spec: ImputeSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> ImputeResult:
         """Execute an impute spec, choosing a strategy automatically if asked."""
         spec.validate()
         assert spec.data is not None  # validate() guarantees this
         strategy = spec.strategy
         options: dict = {"n_examples": spec.n_examples}
         if strategy == "auto":
-            strategy = self._choose_impute_strategy(spec)
-        operator = ImputeOperator(self.session.client(), **self._operator_kwargs())
+            strategy = self._choose_impute_strategy(spec, budget=budget)
+        operator = ImputeOperator(self.session.client(budget), **self._operator_kwargs(budget))
         return operator.run(spec.data, strategy=strategy, **options)
 
-    def _choose_impute_strategy(self, spec: ImputeSpec) -> str:
+    def _choose_impute_strategy(
+        self, spec: ImputeSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> str:
         data = spec.data
         assert data is not None
         validation_size = min(spec.validation_size, len(data.queries))
@@ -219,7 +245,7 @@ class DeclarativeEngine:
         ]
 
         def run_candidate(candidate: StrategyCandidate) -> ImputeResult:
-            operator = ImputeOperator(self.session.client(), **self._operator_kwargs())
+            operator = ImputeOperator(self.session.client(budget), **self._operator_kwargs(budget))
             return operator.run(validation_data, strategy=candidate.name, n_examples=spec.n_examples)
 
         def score(result: ImputeResult) -> float:
@@ -237,3 +263,78 @@ class DeclarativeEngine:
             accuracy_target=spec.accuracy_target,
         )
         return chosen.candidate.name
+
+    # -- pipelines ----------------------------------------------------------------
+
+    def run_spec(
+        self, spec: TaskSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> Any:
+        """Execute any supported task spec, dispatching on its type."""
+        if isinstance(spec, SortSpec):
+            return self.sort(spec, budget=budget)
+        if isinstance(spec, ResolveSpec):
+            return self.resolve(spec, budget=budget)
+        if isinstance(spec, ImputeSpec):
+            return self.impute(spec, budget=budget)
+        raise SpecError(f"cannot execute spec type {type(spec).__name__}")
+
+    def planner(self, model: str | None = None) -> CostPlanner:
+        """A cost planner for ``model`` (defaults to the engine's model)."""
+        return CostPlanner(
+            model or self.default_model or self.session.config.chat_model,
+            registry=self.session.registry,
+        )
+
+    def quote_pipeline(self, pipeline: PipelineSpec) -> PipelineQuote:
+        """Pre-flight quote for a pipeline: per-step estimates plus totals."""
+        return self.planner().quote_pipeline(pipeline)
+
+    def run_pipeline(
+        self,
+        pipeline: PipelineSpec | Workflow,
+        *,
+        quote: PipelineQuote | None = None,
+        max_concurrency: int | None = None,
+    ) -> WorkflowReport:
+        """Run a declarative pipeline (or a pre-built workflow) as a DAG.
+
+        Independent steps run concurrently on the session's executor; spec
+        steps are executed by this engine under per-step budget leases
+        apportioned from whatever remains of the session budget, weighted by
+        the pre-flight quote.  When no ``quote`` is passed and ``pipeline``
+        is a spec, one is computed automatically and attached to the report.
+
+        Args:
+            pipeline: a :class:`~repro.core.spec.PipelineSpec`, or a
+                :class:`~repro.core.workflow.Workflow` built by hand.
+            quote: optional pre-computed quote (avoids re-estimating).
+            max_concurrency: scheduler pool size for independent steps;
+                defaults to the session's ``max_concurrency``.
+        """
+        if isinstance(pipeline, Workflow):
+            workflow = pipeline
+        else:
+            workflow = Workflow.from_pipeline(pipeline)
+            if quote is None:
+                quote = self.quote_pipeline(pipeline)
+        return workflow.execute(
+            self.session,
+            max_concurrency=max_concurrency,
+            spec_runner=self._run_pipeline_step,
+            quote=quote,
+        )
+
+    def _run_pipeline_step(
+        self,
+        step: WorkflowStep,
+        inputs: Mapping[str, Any],
+        lease: BudgetLease | None,
+    ) -> Any:
+        task = step.task
+        if callable(task) and not isinstance(task, TaskSpec):
+            task = task(inputs)
+        if not isinstance(task, TaskSpec):
+            raise SpecError(
+                f"pipeline step {step.name!r} produced {type(task).__name__}, expected a TaskSpec"
+            )
+        return self.run_spec(task, budget=lease)

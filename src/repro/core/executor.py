@@ -29,7 +29,7 @@ from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.core.budget import Budget
+from repro.core.budget import Budget, BudgetLease
 from repro.exceptions import BudgetExceededError, ConfigurationError
 from repro.llm.base import LLMResponse, call_complete_batch
 from repro.llm.retry import RetryingClient, RetryStats
@@ -45,6 +45,40 @@ class BatchRequest:
     max_tokens: int | None = None
 
 
+@dataclass
+class TaskOutcome:
+    """What happened to one task scheduled through :meth:`BatchExecutor.map`.
+
+    Three states: the task ran and produced ``value``; the task ran and
+    raised ``error`` (``skipped`` is False); or the task never ran
+    (``skipped`` is True) — because an earlier task in the batch failed
+    first, or because the attached budget was exhausted before dispatch (in
+    which case ``error`` carries the :class:`BudgetExceededError` from the
+    pre-dispatch check, so callers can tell the two skip causes apart).
+    """
+
+    value: Any = None
+    error: BaseException | None = None
+    skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.skipped
+
+
+class _BudgetPreCheckStop(Exception):
+    """Internal: a map() task failed the pre-dispatch budget check.
+
+    Distinguishes "the budget died before this task started" from "this task
+    ran and raised", so the outcome can be reported as skipped rather than
+    as a mid-task failure.
+    """
+
+    def __init__(self, error: BudgetExceededError) -> None:
+        super().__init__(str(error))
+        self.error = error
+
+
 class BatchExecutor:
     """Dispatch a list of independent unit tasks against one LLM client.
 
@@ -52,8 +86,8 @@ class BatchExecutor:
         client: the client every unit task is issued through (typically an
             operator's tracked/cached client, or a session client).
         max_concurrency: thread-pool size; 1 means sequential native batching.
-        budget: optional budget checked before each dispatch for early
-            stopping.
+        budget: optional budget (or per-step :class:`~repro.core.budget.
+            BudgetLease`) checked before each dispatch for early stopping.
         validator: optional response-text validator enabling per-call retries
             (see :class:`~repro.llm.retry.RetryingClient`).
         max_retries: additional attempts per unit task when a validator is set.
@@ -65,7 +99,7 @@ class BatchExecutor:
         client: Any,
         *,
         max_concurrency: int = 1,
-        budget: Budget | None = None,
+        budget: Budget | BudgetLease | None = None,
         validator: Callable[[str], Any] | None = None,
         max_retries: int = 2,
         retry_temperature: float = 0.7,
@@ -104,6 +138,68 @@ class BatchExecutor:
         if self.max_concurrency == 1 or len(normalized) == 1:
             return self._run_sequential(normalized)
         return self._run_concurrent(normalized)
+
+    def map(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskOutcome]:
+        """Run independent no-argument callables; outcomes in input order.
+
+        This is the entry point the pipeline scheduler uses to run a wave of
+        mutually independent steps: each task is an arbitrary callable (a
+        whole operator run, not a single prompt), dispatched sequentially at
+        ``max_concurrency == 1`` and over the thread pool otherwise.
+
+        Unlike :meth:`run`, failures do not raise.  Each task's result or
+        exception comes back in its :class:`TaskOutcome`; after the first
+        failure — or once an attached budget is exhausted — the remaining
+        not-yet-started tasks are marked ``skipped`` (in-flight tasks still
+        finish), mirroring where the sequential loop would have stopped.  A
+        task whose *pre-dispatch* budget check failed never ran: it is
+        reported as skipped with the budget error attached, not as a
+        mid-task failure.
+        """
+        task_list = list(tasks)
+        outcomes = [TaskOutcome(skipped=True) for _ in task_list]
+        if not task_list:
+            return outcomes
+        if self.max_concurrency == 1 or len(task_list) == 1:
+            for index, task in enumerate(task_list):
+                try:
+                    self._check_budget()
+                except BudgetExceededError as exc:
+                    outcomes[index] = TaskOutcome(error=exc, skipped=True)
+                    break
+                try:
+                    outcomes[index] = TaskOutcome(value=task())
+                except BaseException as exc:  # noqa: BLE001 - reported, not raised
+                    outcomes[index] = TaskOutcome(error=exc)
+                    break
+            return outcomes
+
+        def guarded(task: Callable[[], Any]) -> Any:
+            try:
+                self._check_budget()
+            except BudgetExceededError as exc:
+                raise _BudgetPreCheckStop(exc) from exc
+            return task()
+
+        with ThreadPoolExecutor(max_workers=self.max_concurrency) as pool:
+            futures = {pool.submit(guarded, task): index for index, task in enumerate(task_list)}
+            failed = False
+            for future, index in futures.items():
+                try:
+                    outcomes[index] = TaskOutcome(value=future.result())
+                except CancelledError:
+                    continue  # stays skipped
+                except _BudgetPreCheckStop as stop:
+                    outcomes[index] = TaskOutcome(error=stop.error, skipped=True)
+                    if not failed:
+                        failed = True
+                        pool.shutdown(wait=False, cancel_futures=True)
+                except BaseException as exc:  # noqa: BLE001 - reported, not raised
+                    outcomes[index] = TaskOutcome(error=exc)
+                    if not failed:
+                        failed = True
+                        pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes
 
     # -- internals ----------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""A-priori cost planning for prompting strategies.
+"""A-priori cost planning for prompting strategies and whole pipelines.
 
 The strategy optimizer (:mod:`repro.core.optimizer`) *measures* cost on a
 validation sample; the planner here *predicts* cost before anything runs, from
@@ -7,14 +7,24 @@ structure (one prompt, O(n) unit tasks, O(n²) pairs, ...).  The engine uses
 these estimates to discard strategies that obviously cannot fit a budget
 without spending a single token on them, and reports them to users as a
 pre-flight quote.
+
+Beyond single strategies, :meth:`CostPlanner.estimate_spec` maps a
+declarative task spec to the cost shape its strategy will execute, and
+:meth:`CostPlanner.quote_pipeline` rolls those per-step estimates up into a
+:class:`PipelineQuote` — the pre-flight quote for a whole
+:class:`~repro.core.spec.PipelineSpec`, reported per step.  The pipeline
+scheduler also uses the per-step dollar estimates as weights when it
+apportions the remaining budget across pending steps.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+import math
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro.core.spec import ImputeSpec, PipelineSpec, ResolveSpec, SortSpec, TaskSpec
+from repro.exceptions import ConfigurationError, SpecError
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.tokenizer.cost import Usage
 from repro.tokenizer.simple import SimpleTokenizer
@@ -41,6 +51,40 @@ class CostEstimate:
     calls: int
     usage: Usage
     dollars: float
+
+
+@dataclass(frozen=True)
+class PipelineQuote:
+    """Pre-flight quote for a whole pipeline, reported per step.
+
+    Attributes:
+        pipeline: the pipeline's name.
+        steps: step name → that step's cost estimate.
+        unquoted: steps that cannot be priced a priori — pure-python steps
+            and spec factories whose inputs only exist at run time.
+    """
+
+    pipeline: str
+    steps: Mapping[str, CostEstimate]
+    unquoted: tuple[str, ...] = ()
+
+    @property
+    def total_calls(self) -> int:
+        """Predicted LLM calls across every quoted step."""
+        return sum(estimate.calls for estimate in self.steps.values())
+
+    @property
+    def total_usage(self) -> Usage:
+        """Predicted token usage across every quoted step."""
+        total = Usage()
+        for estimate in self.steps.values():
+            total.add(estimate.usage)
+        return total
+
+    @property
+    def total_dollars(self) -> float:
+        """Predicted dollar cost: the sum of the per-step estimates."""
+        return sum(estimate.dollars for estimate in self.steps.values())
 
 
 class CostPlanner:
@@ -115,6 +159,130 @@ class CostPlanner:
         prompt_tokens = calls * (_PROMPT_OVERHEAD_TOKENS + 2 * average)
         completion_tokens = calls * _SHORT_COMPLETION_TOKENS
         return self._estimate("pairwise_against", calls, prompt_tokens, completion_tokens)
+
+    def pair_judgments(
+        self, pairs: Sequence[tuple[str, str]], *, expansion: int = 1
+    ) -> CostEstimate:
+        """One duplicate-check task per queried pair.
+
+        ``expansion`` models strategies that ask extra comparisons per
+        queried pair — e.g. the k-NN-augmented transitive strategy compares
+        every pair among the two anchors and their k neighbors, an upper
+        bound of ``C(2k+2, 2)`` calls per question (deduplication across
+        overlapping groups makes the real count lower).
+        """
+        if expansion < 1:
+            raise ConfigurationError("expansion must be at least 1")
+        texts = [f"{left} {right}" for left, right in pairs]
+        average = self._average_item_tokens(texts)
+        calls = len(pairs) * expansion
+        prompt_tokens = calls * (_PROMPT_OVERHEAD_TOKENS + average)
+        completion_tokens = calls * _SHORT_COMPLETION_TOKENS
+        return self._estimate("pair_judgments", calls, prompt_tokens, completion_tokens)
+
+    # -- declarative specs ------------------------------------------------------------
+
+    def estimate_spec(self, spec: TaskSpec) -> CostEstimate:
+        """Pre-flight estimate for one declarative task spec.
+
+        Maps the spec's strategy onto the standard cost shapes above; the
+        ``strategy`` field of the returned estimate is labelled
+        ``"<operation>:<strategy>"`` so per-step quotes read naturally.
+        ``"auto"`` strategies are priced at the engine's no-validation
+        default for that operator.
+        """
+        if isinstance(spec, SortSpec):
+            estimate = self._estimate_sort(spec)
+        elif isinstance(spec, ResolveSpec):
+            estimate = self._estimate_resolve(spec)
+        elif isinstance(spec, ImputeSpec):
+            estimate = self._estimate_impute(spec)
+        else:
+            raise SpecError(
+                f"cannot estimate cost for spec type {type(spec).__name__}"
+            )
+        return estimate
+
+    def _estimate_sort(self, spec: SortSpec) -> CostEstimate:
+        items = list(spec.items)
+        strategy = spec.strategy
+        if strategy == "single_prompt":
+            estimate = self.single_prompt(items)
+        elif strategy == "rating":
+            estimate = self.per_item(
+                items, batch_size=int(spec.strategy_options.get("batch_size", 1))
+            )
+        elif strategy == "hybrid_sort_insert":
+            # One whole-list prompt, then a binary-search insertion (about
+            # log2(n) comparisons) for each item the first pass dropped; we
+            # conservatively price every item's insertion.
+            whole = self.single_prompt(items)
+            inserts = self.pairwise_against(items, max(1, math.ceil(math.log2(len(items)))))
+            estimate = self._estimate(
+                "hybrid_sort_insert",
+                calls=whole.calls + inserts.calls,
+                prompt_tokens=whole.usage.prompt_tokens + inserts.usage.prompt_tokens,
+                completion_tokens=whole.usage.completion_tokens
+                + inserts.usage.completion_tokens,
+            )
+        else:
+            # "pairwise", "pairwise_consistent", and "auto" (the engine's
+            # no-validation default is pairwise) all execute one comparison
+            # per unordered pair.
+            estimate = self.pairwise(items)
+        return replace(estimate, strategy=f"sort:{strategy}")
+
+    def _estimate_resolve(self, spec: ResolveSpec) -> CostEstimate:
+        strategy = spec.strategy
+        if spec.pairs:
+            if strategy in ("transitive", "auto"):
+                # The engine's no-validation default is the transitive
+                # strategy with the spec's neighbors_k.
+                expansion = math.comb(2 * spec.neighbors_k + 2, 2)
+            else:
+                expansion = 1
+            estimate = self.pair_judgments(list(spec.pairs), expansion=expansion)
+        else:
+            records = list(spec.records)
+            if strategy == "single_prompt":
+                estimate = self.single_prompt(records)
+            elif strategy == "blocked_pairwise":
+                block_k = int(spec.strategy_options.get("block_k", 5))
+                estimate = self.pairwise_against(records, block_k)
+            else:
+                estimate = self.pairwise(records)
+        return replace(estimate, strategy=f"resolve:{strategy}")
+
+    def _estimate_impute(self, spec: ImputeSpec) -> CostEstimate:
+        assert spec.data is not None  # spec.validate() guarantees this
+        strategy = spec.strategy
+        if strategy == "knn":
+            # Pure proxy imputation: no LLM calls at all.
+            estimate = self._estimate("knn", calls=0, prompt_tokens=0, completion_tokens=0)
+        else:
+            queries = [spec.data.serialized_query(record) for record in spec.data.queries]
+            estimate = self.per_item(queries)
+        return replace(estimate, strategy=f"impute:{strategy}")
+
+    def quote_pipeline(self, pipeline: PipelineSpec) -> PipelineQuote:
+        """Quote a whole pipeline before running it.
+
+        Every step whose spec is statically known is estimated through
+        :meth:`estimate_spec`; the quote's totals are by construction the
+        sums of those per-step estimates.  Pure-python steps and spec
+        factories (whose inputs only exist once upstream steps have run)
+        are listed in :attr:`PipelineQuote.unquoted` rather than silently
+        priced at zero.
+        """
+        pipeline.validate()
+        steps: dict[str, CostEstimate] = {}
+        unquoted: list[str] = []
+        for step in pipeline.steps:
+            if isinstance(step.task, TaskSpec):
+                steps[step.name] = self.estimate_spec(step.task)
+            else:
+                unquoted.append(step.name)
+        return PipelineQuote(pipeline=pipeline.name, steps=steps, unquoted=tuple(unquoted))
 
     # -- queries --------------------------------------------------------------------
 

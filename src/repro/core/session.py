@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import DEFAULT_CONFIG, ReproConfig
-from repro.core.budget import Budget
+from repro.core.budget import Budget, BudgetLease
+from repro.core.executor import BatchExecutor
 from repro.exceptions import BudgetExceededError
 from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
 from repro.llm.cache import CachedClient, ResponseCache
@@ -29,9 +30,16 @@ from repro.tokenizer.cost import CostModel
 
 @dataclass
 class SessionClient:
-    """LLM client view bound to a session: cached, tracked, budget-enforced."""
+    """LLM client view bound to a session: cached, tracked, budget-enforced.
+
+    ``budget`` optionally redirects where calls are *charged*: a pipeline
+    step's client charges its per-step :class:`BudgetLease` (which forwards
+    every dollar to the session budget), so the lease measures exactly the
+    step's own spending even while sibling steps run concurrently.
+    """
 
     session: "PromptSession"
+    budget: Budget | BudgetLease | None = None
 
     def complete(
         self,
@@ -42,7 +50,11 @@ class SessionClient:
         max_tokens: int | None = None,
     ) -> LLMResponse:
         return self.session.complete(
-            prompt, model=model, temperature=temperature, max_tokens=max_tokens
+            prompt,
+            model=model,
+            temperature=temperature,
+            max_tokens=max_tokens,
+            budget=self.budget,
         )
 
     def complete_batch(
@@ -54,7 +66,11 @@ class SessionClient:
         max_tokens: int | None = None,
     ) -> list[LLMResponse]:
         return self.session.complete_batch(
-            prompts, model=model, temperature=temperature, max_tokens=max_tokens
+            prompts,
+            model=model,
+            temperature=temperature,
+            max_tokens=max_tokens,
+            budget=self.budget,
         )
 
 
@@ -98,15 +114,22 @@ class PromptSession:
         model: str | None = None,
         temperature: float = 0.0,
         max_tokens: int | None = None,
+        budget: Budget | BudgetLease | None = None,
     ) -> LLMResponse:
-        """Issue one call through the session: cache, track, and charge it."""
+        """Issue one call through the session: cache, track, and charge it.
+
+        ``budget`` redirects the charge (a :class:`BudgetLease` forwards
+        every dollar to the session budget, so nothing is lost); by default
+        the session's own budget is charged.
+        """
+        target = budget if budget is not None else self.budget
         model_name = model or self.config.chat_model
         response = self._client.complete(
             prompt, model=model_name, temperature=temperature, max_tokens=max_tokens
         )
         self.tracker.record(response)
         if self.cost_model.has_model(response.model):
-            self.budget.charge(self.cost_model.cost(response.model, response.usage))
+            target.charge(self.cost_model.cost(response.model, response.usage))
         return response
 
     def complete_batch(
@@ -116,6 +139,7 @@ class PromptSession:
         model: str | None = None,
         temperature: float = 0.0,
         max_tokens: int | None = None,
+        budget: Budget | BudgetLease | None = None,
     ) -> list[LLMResponse]:
         """Issue a whole batch through the session: cache, track, and charge it.
 
@@ -125,8 +149,9 @@ class PromptSession:
         :class:`~repro.core.executor.BatchExecutor` with the session budget
         attached (operators constructed by the engine do exactly that).
         """
-        if not self.budget.unlimited and self.budget.remaining <= 0.0:
-            raise BudgetExceededError(self.budget.spent, self.budget.limit or 0.0)
+        target = budget if budget is not None else self.budget
+        if not target.unlimited and target.remaining <= 0.0:
+            raise BudgetExceededError(target.spent, target.limit or 0.0)
         model_name = model or self.config.chat_model
         responses = call_complete_batch(
             self._client,
@@ -136,14 +161,51 @@ class PromptSession:
             max_tokens=max_tokens,
         )
         self.tracker.record_batch(responses)
+        # Charge every response before surfacing a limit breach: the calls
+        # were all made (and tracked), so stopping at the first raise would
+        # leave the budget understating real spend.
+        charge_error: BudgetExceededError | None = None
         for response in responses:
             if self.cost_model.has_model(response.model):
-                self.budget.charge(self.cost_model.cost(response.model, response.usage))
+                try:
+                    target.charge(self.cost_model.cost(response.model, response.usage))
+                except BudgetExceededError as exc:
+                    charge_error = charge_error or exc
+        if charge_error is not None:
+            raise charge_error
         return responses
 
-    def client(self) -> SessionClient:
-        """A client view suitable for handing to operators."""
-        return SessionClient(session=self)
+    def client(self, budget: Budget | BudgetLease | None = None) -> SessionClient:
+        """A client view suitable for handing to operators.
+
+        Pass a :class:`BudgetLease` to charge that lease instead of the
+        session budget directly (pipeline steps do this so each lease
+        measures only its own step's spending).
+        """
+        return SessionClient(session=self, budget=budget)
+
+    def batch_executor(
+        self,
+        *,
+        max_concurrency: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> BatchExecutor:
+        """An executor bound to this session's client.
+
+        The DAG pipeline scheduler (:class:`~repro.core.workflow.Workflow`)
+        runs each wave of independent steps through one of these; any caller
+        fanning independent unit tasks through the session can do the same.
+        ``max_concurrency`` defaults to the session's setting.
+        """
+        return BatchExecutor(
+            self.client(),
+            # "is not None" rather than "or": an explicit invalid 0 must
+            # reach BatchExecutor's validation, not be silently replaced.
+            max_concurrency=(
+                max_concurrency if max_concurrency is not None else self.max_concurrency
+            ),
+            budget=budget,
+        )
 
     @property
     def spent_dollars(self) -> float:
@@ -153,3 +215,69 @@ class PromptSession:
     def reset_usage(self) -> None:
         """Clear the tracker (the budget's spend is intentionally kept)."""
         self.tracker.reset()
+
+
+class BudgetScopedSession:
+    """A session view whose LLM calls are charged to a specific budget.
+
+    Everything else — tracker, cache, config, registry — forwards to the
+    underlying session.  The pipeline scheduler hands one of these to
+    callable steps when the workflow carries its own ``budget_dollars`` cap,
+    so even a raw ``session.complete`` call inside a step counts against the
+    workflow's lease (which forwards every dollar to the session budget).
+    """
+
+    def __init__(self, session: PromptSession, budget: Budget | BudgetLease) -> None:
+        self._session = session
+        self.budget = budget
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> LLMResponse:
+        return self._session.complete(
+            prompt,
+            model=model,
+            temperature=temperature,
+            max_tokens=max_tokens,
+            budget=budget if budget is not None else self.budget,
+        )
+
+    def complete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> list[LLMResponse]:
+        return self._session.complete_batch(
+            prompts,
+            model=model,
+            temperature=temperature,
+            max_tokens=max_tokens,
+            budget=budget if budget is not None else self.budget,
+        )
+
+    def client(self, budget: Budget | BudgetLease | None = None) -> SessionClient:
+        return self._session.client(budget if budget is not None else self.budget)
+
+    def batch_executor(
+        self,
+        *,
+        max_concurrency: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> BatchExecutor:
+        return self._session.batch_executor(
+            max_concurrency=max_concurrency,
+            budget=budget if budget is not None else self.budget,
+        )
+
+    def __getattr__(self, name: str):
+        return getattr(self._session, name)

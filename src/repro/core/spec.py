@@ -3,15 +3,28 @@
 A spec captures *what* the user wants done, independent of *how* it will be
 executed: the operation, the data, the quality/cost targets, and optionally a
 labelled validation sample the optimizer may use to choose a strategy.
+
+Beyond single-operator specs, :class:`PipelineSpec` declares a whole
+multi-operator workflow as data: named steps carrying operator specs (or
+plain callables for LLM-free stages), connected by ``depends_on`` edges into
+a DAG.  The engine turns a pipeline spec into a scheduled
+:class:`~repro.core.workflow.Workflow`, quotes it a priori through the
+:class:`~repro.core.planner.CostPlanner`, and runs independent steps
+concurrently under one shared budget.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
+from repro.core.dag import topological_waves
 from repro.data.products import ImputationDataset
 from repro.exceptions import SpecError
+
+#: A step's spec may be built at run time from upstream results: the factory
+#: receives ``{dependency name: result}`` and returns the concrete spec.
+SpecFactory = Callable[[Mapping[str, Any]], "TaskSpec"]
 
 
 @dataclass
@@ -96,3 +109,87 @@ class ImputeSpec(TaskSpec):
             raise SpecError("n_examples must be non-negative")
         if self.validation_size < 0:
             raise SpecError("validation_size must be non-negative")
+
+
+@dataclass
+class PipelineStep:
+    """One named step of a declarative pipeline.
+
+    Exactly one of ``task`` and ``run`` must be set:
+
+    * ``task`` — an operator spec the engine executes directly
+      (:class:`SortSpec`, :class:`ResolveSpec`, :class:`ImputeSpec`, ...), or
+      a :data:`SpecFactory` callable that builds the spec at run time from
+      the results of this step's dependencies.
+    * ``run`` — an arbitrary callable ``(session, inputs) -> result`` for
+      LLM-free stages (blocking, graph repair, merging, ...), where
+      ``inputs`` maps each transitive dependency's name to its result.
+
+    Attributes:
+        name: unique step name; downstream steps reference it in
+            ``depends_on`` and read its result under this key.
+        task: operator spec (or factory) the engine runs for this step.
+        run: plain callable alternative to ``task``.
+        depends_on: names of the steps whose results this step consumes.
+        description: human-readable summary, used in reports and quotes.
+    """
+
+    name: str
+    task: TaskSpec | SpecFactory | None = None
+    run: Callable[..., Any] | None = None
+    depends_on: tuple[str, ...] = ()
+    description: str = ""
+
+    def validate(self) -> None:
+        if not self.name:
+            raise SpecError("a pipeline step needs a name")
+        if (self.task is None) == (self.run is None):
+            raise SpecError(
+                f"pipeline step {self.name!r} must set exactly one of task= and run="
+            )
+        if isinstance(self.task, TaskSpec):
+            self.task.validate()
+        elif self.task is not None and not callable(self.task):
+            # Catch a malformed task statically, before upstream steps have
+            # already spent money at run time.
+            raise SpecError(
+                f"pipeline step {self.name!r} task must be a TaskSpec or a spec "
+                f"factory, got {type(self.task).__name__}"
+            )
+        if self.run is not None and not callable(self.run):
+            raise SpecError(f"pipeline step {self.name!r} run= must be callable")
+
+
+@dataclass
+class PipelineSpec:
+    """A declarative multi-operator pipeline: steps plus dependency edges.
+
+    The steps form a DAG; :meth:`validate` rejects duplicate step names,
+    dependencies on unknown steps, and dependency cycles.  ``budget_dollars``
+    optionally caps the whole pipeline — the scheduler apportions whatever
+    remains of the session budget across the still-pending steps and stops
+    cleanly once it runs dry.
+    """
+
+    name: str = "pipeline"
+    steps: Sequence[PipelineStep] = ()
+    budget_dollars: float | None = None
+    description: str = ""
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` if the pipeline is inconsistent."""
+        if not self.steps:
+            raise SpecError(f"pipeline {self.name!r} has no steps")
+        if self.budget_dollars is not None and self.budget_dollars < 0:
+            raise SpecError("budget_dollars must be non-negative")
+        seen: set[str] = set()
+        for step in self.steps:
+            step.validate()
+            if step.name in seen:
+                raise SpecError(f"duplicate pipeline step name: {step.name!r}")
+            seen.add(step.name)
+        self.waves()  # unknown dependencies and cycles
+
+    def waves(self) -> list[list[str]]:
+        """The scheduler's wave decomposition (independent steps share a wave)."""
+        return topological_waves({step.name: list(step.depends_on) for step in self.steps})

@@ -1,19 +1,64 @@
-"""Multi-step workflows over declarative operators.
+"""DAG pipeline engine: dependency-scheduled workflows over one session.
 
-A workflow is an ordered list of named steps; each step receives the results
-of the previous steps and the shared :class:`~repro.core.session.PromptSession`
-and returns an arbitrary result.  The engine uses workflows to chain, e.g., a
-blocking step, a pairwise resolution step, and a consistency-repair step,
-while a single budget and tracker span all of them.
+A workflow is a set of named steps connected by ``depends_on`` edges.  The
+scheduler topologically sorts the graph into *waves* of mutually independent
+steps, runs each wave through the session's
+:class:`~repro.core.executor.BatchExecutor` (so independent branches overlap
+in wall-clock time when ``max_concurrency > 1``), and hands every step the
+results of its transitive dependencies.  One
+:class:`~repro.core.session.PromptSession` — one cache, one tracker, one
+budget — spans the whole pipeline.
+
+Steps come in two kinds:
+
+* **Callable steps** (:meth:`Workflow.add_step`) — ``(session, inputs) ->
+  result``, the original API.  Calling ``add_step`` without ``depends_on``
+  chains the step after the previous one, so the legacy linear workflow is
+  just the degenerate chain DAG and keeps its exact semantics.
+* **Spec steps** (:meth:`Workflow.add_task`, or declaratively via a
+  :class:`~repro.core.spec.PipelineSpec`) — an operator spec (``SortSpec``,
+  ``ResolveSpec``, ``ImputeSpec``, ...) or a factory building one from
+  upstream results.  These are executed by the engine
+  (:meth:`~repro.core.engine.DeclarativeEngine.run_pipeline`), which can
+  quote the pipeline a priori and apportion the budget per step.
+
+Budget semantics: before each round the scheduler checks the budget (the
+session budget, or a tighter workflow-level ``budget_dollars`` lease) and
+splits the remaining dollars over the still-pending spec steps (weighted by
+the pre-flight quote when one is supplied, equally otherwise; run-only
+callable steps never charge the budget and get no share).  Each spec step
+runs under a :class:`~repro.core.budget.BudgetLease` capped at its share, so
+one runaway step cannot starve its siblings: a step that exhausts its lease
+is recorded as ``"stopped"`` and only its dependents are blocked, while
+independent branches keep running on their own allocations.  Once the shared
+budget itself is gone the pipeline *stops cleanly*: completed results are
+kept, never-dispatched steps are reported as skipped, and the report (not an
+exception) says why.
+
+Determinism: waves, step order, and each step's input dict depend only on
+the declared graph, never on thread timing; at temperature 0 a DAG run is
+element-wise identical to the linear chain (the equivalence suite in
+``tests/core/test_pipeline.py`` asserts this at concurrency 1 and 4).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
-from repro.core.session import PromptSession
-from repro.exceptions import SpecError
+from repro.core.budget import BudgetLease
+from repro.core.dag import topological_waves, transitive_dependencies
+from repro.core.session import BudgetScopedSession, PromptSession
+from repro.core.spec import PipelineSpec, SpecFactory, TaskSpec
+from repro.exceptions import BudgetExceededError, SpecError
+from repro.operators.base import OperatorResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.planner import PipelineQuote
+
+#: A spec-step executor: ``(step, inputs, lease) -> result``.  Supplied by
+#: the engine; plain sessions cannot run operator specs themselves.
+SpecRunner = Callable[["WorkflowStep", Mapping[str, Any], BudgetLease | None], Any]
 
 
 @dataclass
@@ -21,61 +66,380 @@ class WorkflowStep:
     """One step of a workflow.
 
     Attributes:
-        name: unique step name; later steps read earlier results by name.
-        run: callable ``(session, results_so_far) -> result``.
+        name: unique step name; dependents read this step's result by name.
+        run: callable ``(session, inputs) -> result`` (callable steps only).
+        task: operator spec or spec factory (spec steps only).
+        depends_on: names of the steps this one consumes.
         description: human-readable summary, used in reports.
     """
 
     name: str
-    run: Callable[[PromptSession, dict[str, Any]], Any]
+    run: Callable[[PromptSession, dict[str, Any]], Any] | None = None
+    task: TaskSpec | SpecFactory | None = None
+    depends_on: tuple[str, ...] = ()
     description: str = ""
 
 
 @dataclass
+class StepReport:
+    """Execution record of one step.
+
+    Attributes:
+        name: the step's name.
+        status: ``"completed"``, ``"stopped"`` (hit the budget mid-step), or
+            ``"skipped"`` (never dispatched).
+        cost: dollars the step reported (spec steps only; callable steps
+            appear as 0 because concurrent siblings make a global-tracker
+            delta unattributable).
+        calls: LLM calls the step reported (spec steps only).
+        allocation: the budget share apportioned to the step, if any.
+    """
+
+    name: str
+    status: str = "skipped"
+    cost: float = 0.0
+    calls: int = 0
+    allocation: float | None = None
+
+
+@dataclass
 class WorkflowReport:
-    """Execution record of a workflow run."""
+    """Execution record of a workflow run.
+
+    ``total_*`` fields are deltas over this run only — a session reused
+    across several workflows reports each run's own usage, not the
+    session-lifetime totals.
+    """
 
     results: dict[str, Any] = field(default_factory=dict)
     step_order: list[str] = field(default_factory=list)
+    waves: list[list[str]] = field(default_factory=list)
+    step_reports: dict[str, StepReport] = field(default_factory=dict)
     total_cost: float = 0.0
     total_prompt_tokens: int = 0
     total_completion_tokens: int = 0
+    total_calls: int = 0
+    stopped_early: bool = False
+    stop_reason: str = ""
+    quote: "PipelineQuote | None" = None
+
+    @property
+    def completed_steps(self) -> list[str]:
+        return [name for name, step in self.step_reports.items() if step.status == "completed"]
+
+    @property
+    def stopped_steps(self) -> list[str]:
+        """Steps that ran and spent money until the budget cut them off."""
+        return [name for name, step in self.step_reports.items() if step.status == "stopped"]
+
+    @property
+    def skipped_steps(self) -> list[str]:
+        """Steps that were never dispatched (safe to re-run from scratch)."""
+        return [name for name, step in self.step_reports.items() if step.status == "skipped"]
 
 
 class Workflow:
-    """An ordered, named sequence of steps sharing one session."""
+    """A named DAG of steps sharing one session.
 
-    def __init__(self, name: str = "workflow") -> None:
+    ``budget_dollars`` optionally caps this workflow's spend independently of
+    the session's own limit: at execution the cap becomes a
+    :class:`~repro.core.budget.BudgetLease` over the session budget, so the
+    scheduler apportions and stops against whichever is tighter.
+    """
+
+    def __init__(self, name: str = "workflow", *, budget_dollars: float | None = None) -> None:
         self.name = name
+        self.budget_dollars = budget_dollars
         self._steps: list[WorkflowStep] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def _add(self, step: WorkflowStep) -> "Workflow":
+        if any(existing.name == step.name for existing in self._steps):
+            raise SpecError(f"duplicate workflow step name: {step.name!r}")
+        self._steps.append(step)
+        return self
 
     def add_step(
         self,
         name: str,
         run: Callable[[PromptSession, dict[str, Any]], Any],
         *,
+        depends_on: tuple[str, ...] | None = None,
         description: str = "",
     ) -> "Workflow":
-        """Append a step; returns ``self`` so calls can be chained."""
-        if any(step.name == name for step in self._steps):
-            raise SpecError(f"duplicate workflow step name: {name!r}")
-        self._steps.append(WorkflowStep(name=name, run=run, description=description))
-        return self
+        """Add a callable step; returns ``self`` so calls can be chained.
+
+        Without ``depends_on`` the step chains after the previously added
+        step (the legacy linear API); pass an explicit tuple — possibly
+        empty — to place the step anywhere in the DAG.
+        """
+        if depends_on is None:
+            depends_on = (self._steps[-1].name,) if self._steps else ()
+        return self._add(
+            WorkflowStep(
+                name=name, run=run, depends_on=tuple(depends_on), description=description
+            )
+        )
+
+    def add_task(
+        self,
+        name: str,
+        task: TaskSpec | SpecFactory,
+        *,
+        depends_on: tuple[str, ...] = (),
+        description: str = "",
+    ) -> "Workflow":
+        """Add a spec step executed by the engine (see module docstring)."""
+        return self._add(
+            WorkflowStep(
+                name=name, task=task, depends_on=tuple(depends_on), description=description
+            )
+        )
+
+    @classmethod
+    def from_pipeline(cls, pipeline: PipelineSpec) -> "Workflow":
+        """Build a scheduled workflow from a declarative pipeline spec."""
+        pipeline.validate()
+        workflow = cls(pipeline.name, budget_dollars=pipeline.budget_dollars)
+        for step in pipeline.steps:
+            workflow._add(
+                WorkflowStep(
+                    name=step.name,
+                    run=step.run,
+                    task=step.task,
+                    depends_on=tuple(step.depends_on),
+                    description=step.description,
+                )
+            )
+        return workflow
 
     @property
     def steps(self) -> list[WorkflowStep]:
         return list(self._steps)
 
-    def execute(self, session: PromptSession) -> WorkflowReport:
-        """Run every step in order against ``session``."""
+    def waves(self) -> list[list[str]]:
+        """The wave decomposition the scheduler will execute."""
+        return topological_waves({step.name: list(step.depends_on) for step in self._steps})
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(
+        self,
+        session: PromptSession,
+        *,
+        max_concurrency: int | None = None,
+        spec_runner: SpecRunner | None = None,
+        quote: "PipelineQuote | None" = None,
+    ) -> WorkflowReport:
+        """Run the DAG against ``session``, wave by wave.
+
+        Args:
+            session: shared execution context (cache, tracker, budget).
+            max_concurrency: scheduler thread-pool size for independent
+                steps; defaults to the session's ``max_concurrency``.
+            spec_runner: executes spec steps (the engine supplies this —
+                see :meth:`DeclarativeEngine.run_pipeline`); required only
+                when the workflow contains spec steps.
+            quote: optional pre-flight quote whose per-step dollar estimates
+                weight the budget apportionment.
+        """
         if not self._steps:
             raise SpecError(f"workflow {self.name!r} has no steps")
-        report = WorkflowReport()
-        for step in self._steps:
-            report.results[step.name] = step.run(session, dict(report.results))
-            report.step_order.append(step.name)
-        usage = session.tracker.usage
-        report.total_cost = session.tracker.cost()
-        report.total_prompt_tokens = usage.prompt_tokens
-        report.total_completion_tokens = usage.completion_tokens
+        dependencies = {step.name: list(step.depends_on) for step in self._steps}
+        waves = topological_waves(dependencies)
+        closures = transitive_dependencies(dependencies)
+        steps_by_name = {step.name: step for step in self._steps}
+        if spec_runner is None:
+            spec_steps = [step.name for step in self._steps if step.task is not None]
+            if spec_steps:
+                raise SpecError(
+                    f"workflow {self.name!r} contains spec steps {spec_steps} but no spec "
+                    "runner; execute it through DeclarativeEngine.run_pipeline"
+                )
+
+        report = WorkflowReport(waves=waves, quote=quote)
+        report.step_reports = {step.name: StepReport(name=step.name) for step in self._steps}
+
+        # Satellite fix: report this run's usage, not session-lifetime totals.
+        usage_before = session.tracker.usage
+        cost_before = session.tracker.cost()
+
+        budget = session.budget
+        if self.budget_dollars is not None:
+            # The workflow's own cap, enforced as a lease over the session
+            # budget (binding even when the session budget is unlimited).
+            budget = budget.lease(self.budget_dollars)
+        executor = session.batch_executor(max_concurrency=max_concurrency, budget=budget)
+        pending = [name for wave in waves for name in wave]
+
+        while pending:
+            if not budget.unlimited and budget.remaining <= 0.0:
+                report.stopped_early = True
+                if not report.stop_reason:
+                    report.stop_reason = (
+                        f"budget exhausted before step(s) "
+                        f"{', '.join(repr(n) for n in pending)}: "
+                        f"spent ${budget.spent:.6f} of ${budget.limit:.6f}"
+                    )
+                break
+            # The next round: every pending step whose dependencies all
+            # completed.  With no failures this dispatches exactly the
+            # topological waves; after a lease stop, unaffected independent
+            # branches keep running while the stopped step's dependents stay
+            # blocked (and are reported as skipped below).
+            runnable = [
+                name
+                for name in pending
+                if all(dep in report.results for dep in dependencies[name])
+            ]
+            if not runnable:
+                break  # the rest are downstream of a stopped step
+
+            # Steps downstream of a stopped step can never run, so they must
+            # not reserve a share of the remaining money — only steps whose
+            # whole dependency closure is completed or still pending count.
+            reachable = [
+                name
+                for name in pending
+                if all(dep in report.results or dep in pending for dep in closures[name])
+            ]
+            allocations = self._apportion(reachable, steps_by_name, budget, quote)
+            thunks = []
+            leases: dict[str, BudgetLease] = {}
+            for name in runnable:
+                step = steps_by_name[name]
+                inputs = {dep: report.results[dep] for dep in closures[name]}
+                allocation = allocations.get(name)
+                report.step_reports[name].allocation = allocation
+                thunks.append(
+                    self._make_thunk(
+                        step, session, inputs, budget, allocation, spec_runner, leases
+                    )
+                )
+
+            progressed = False
+            failure: BaseException | None = None
+            for name, outcome in zip(runnable, executor.map(thunks)):
+                step_report = report.step_reports[name]
+                if outcome.ok:
+                    step_report.status = "completed"
+                    report.results[name] = outcome.value
+                    report.step_order.append(name)
+                    if isinstance(outcome.value, OperatorResult):
+                        step_report.cost = outcome.value.cost
+                        step_report.calls = outcome.value.usage.calls
+                    pending.remove(name)
+                    progressed = True
+                elif outcome.skipped:
+                    # Never dispatched this round (a sibling failed first);
+                    # stays pending and is retried next round.
+                    continue
+                elif isinstance(outcome.error, BudgetExceededError):
+                    # The step ran out of money (its lease or the shared
+                    # budget).  Contain the damage to the step: its
+                    # dependents are blocked, but independent branches keep
+                    # their own allocations and continue.
+                    step_report.status = "stopped"
+                    if name in leases:
+                        # The partial spend before the cut-off, measured by
+                        # the step's own lease.
+                        step_report.cost = leases[name].spent
+                    report.stopped_early = True
+                    if not report.stop_reason:
+                        report.stop_reason = str(outcome.error)
+                    pending.remove(name)
+                    progressed = True
+                else:
+                    failure = failure or outcome.error
+            if failure is not None:
+                self._finalize(report, session, usage_before, cost_before)
+                raise failure
+            if not progressed:
+                break  # defensive: nothing completed or stopped this round
+
+        self._finalize(report, session, usage_before, cost_before)
         return report
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _make_thunk(
+        step: WorkflowStep,
+        session: PromptSession,
+        inputs: dict[str, Any],
+        budget: Any,
+        allocation: float | None,
+        spec_runner: SpecRunner | None,
+        leases: dict[str, BudgetLease],
+    ) -> Callable[[], Any]:
+        if step.task is not None:
+            assert spec_runner is not None  # checked before scheduling
+            if allocation is None:
+                return lambda: spec_runner(step, inputs, None)
+
+            # The lease is taken when the step *starts*, not when the wave is
+            # built, and the engine charges the step's calls through it — so
+            # it measures exactly this step's spending, sequential or
+            # concurrent.  It is parked in ``leases`` so a budget-stopped
+            # step's partial spend still reaches its report.
+            def run_with_lease() -> Any:
+                lease = budget.lease(allocation)
+                leases[step.name] = lease
+                return spec_runner(step, inputs, lease)
+
+            return run_with_lease
+        assert step.run is not None
+        if budget is not session.budget:
+            # A workflow-level budget_dollars cap: route even a callable
+            # step's raw session calls through the cap's lease, or they
+            # would silently bypass it.
+            scoped = BudgetScopedSession(session, budget)
+            return lambda: step.run(scoped, inputs)
+        return lambda: step.run(session, inputs)
+
+    @staticmethod
+    def _apportion(
+        pending: list[str],
+        steps_by_name: Mapping[str, WorkflowStep],
+        budget: Any,
+        quote: "PipelineQuote | None",
+    ) -> dict[str, float]:
+        """Split the remaining dollars across the still-pending spec steps.
+
+        Run-only callable steps never charge a lease, so they get no share
+        (reserving money for them would starve their spec siblings).  Spec
+        steps are weighted by the quote's per-step estimates when available;
+        a spec step with no quoted estimate (a run-time factory) gets the
+        average quoted weight so it is neither starved nor favoured.
+        """
+        if budget.unlimited:
+            return {}
+        spenders = [name for name in pending if steps_by_name[name].task is not None]
+        if not spenders:
+            return {}
+        estimates = quote.steps if quote is not None else {}
+        quoted = [estimates[name].dollars for name in spenders if name in estimates]
+        fallback = (sum(quoted) / len(quoted)) if quoted else 1.0
+        weights = {
+            name: estimates[name].dollars if name in estimates else fallback
+            for name in spenders
+        }
+        total = sum(weights.values())
+        if total <= 0.0:
+            weights = {name: 1.0 for name in spenders}
+            total = float(len(spenders))
+        remaining = budget.remaining
+        return {name: remaining * weight / total for name, weight in weights.items()}
+
+    @staticmethod
+    def _finalize(
+        report: WorkflowReport, session: PromptSession, usage_before: Any, cost_before: float
+    ) -> None:
+        usage_after = session.tracker.usage
+        report.total_cost = session.tracker.cost() - cost_before
+        report.total_prompt_tokens = usage_after.prompt_tokens - usage_before.prompt_tokens
+        report.total_completion_tokens = (
+            usage_after.completion_tokens - usage_before.completion_tokens
+        )
+        report.total_calls = usage_after.calls - usage_before.calls

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.core.budget import Budget
+from repro.core.budget import Budget, BudgetLease
 from repro.core.executor import BatchExecutor, BatchRequest
 from repro.exceptions import UnknownStrategyError
 from repro.llm.base import LLMClient, LLMResponse
@@ -68,7 +68,10 @@ class BaseOperator:
             tasks; 1 (the default) runs them sequentially.
         budget: optional budget the operator's batches check before each
             dispatch, so a limit stops a large batch mid-way instead of after
-            the fact (the engine threads its session budget through here).
+            the fact.  The engine threads its session budget through here; a
+            pipeline step instead passes its per-step
+            :class:`~repro.core.budget.BudgetLease`, capping the operator at
+            the step's apportioned share of the remaining dollars.
     """
 
     #: Operator name used in error messages; subclasses override.
@@ -82,7 +85,7 @@ class BaseOperator:
         cost_model: CostModel | None = None,
         use_cache: bool = True,
         max_concurrency: int = 1,
-        budget: Budget | None = None,
+        budget: Budget | BudgetLease | None = None,
     ) -> None:
         self.model = model
         self.tracker = UsageTracker(cost_model=cost_model)

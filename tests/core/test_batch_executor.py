@@ -288,3 +288,55 @@ class TestEngineBudgetEnforcement:
         # The limit interrupted the 66-comparison batch near its start instead
         # of charging the whole batch after the fact.
         assert engine.session.tracker.calls < 5
+
+
+class TestBatchExecutorMap:
+    """map() runs arbitrary independent callables with outcome reporting."""
+
+    @pytest.mark.parametrize("concurrency", CONCURRENCIES)
+    def test_values_in_input_order(self, concurrency):
+        executor = BatchExecutor(EchoClient(), max_concurrency=concurrency)
+        outcomes = executor.map([(lambda index=index: index * 2) for index in range(17)])
+        assert all(outcome.ok for outcome in outcomes)
+        assert [outcome.value for outcome in outcomes] == [index * 2 for index in range(17)]
+
+    def test_empty(self):
+        assert BatchExecutor(EchoClient()).map([]) == []
+
+    @pytest.mark.parametrize("concurrency", CONCURRENCIES)
+    def test_failure_is_reported_not_raised(self, concurrency):
+        def boom():
+            raise ValueError("boom")
+
+        executor = BatchExecutor(EchoClient(), max_concurrency=concurrency)
+        outcomes = executor.map([lambda: 1, boom, lambda: 3])
+        assert outcomes[0].ok and outcomes[0].value == 1
+        assert isinstance(outcomes[1].error, ValueError)
+        # Once a task fails, not-yet-started tasks are skipped (at
+        # concurrency > 1 an in-flight sibling may still finish).
+        if concurrency == 1:
+            assert outcomes[2].skipped
+
+    def test_sequential_failure_skips_the_rest(self):
+        ran = []
+
+        def boom():
+            raise ValueError("boom")
+
+        executor = BatchExecutor(EchoClient(), max_concurrency=1)
+        outcomes = executor.map([lambda: ran.append("a"), boom, lambda: ran.append("c")])
+        assert ran == ["a"]
+        assert outcomes[2].skipped and not outcomes[2].ok
+
+    @pytest.mark.parametrize("concurrency", CONCURRENCIES)
+    def test_exhausted_budget_stops_dispatch(self, concurrency):
+        budget = Budget(limit=1.0)
+        budget.spent = 1.0
+        executor = BatchExecutor(EchoClient(), max_concurrency=concurrency, budget=budget)
+        outcomes = executor.map([lambda: 1, lambda: 2])
+        # The tasks never ran: skipped, with the budget error attached to the
+        # one(s) that failed the pre-dispatch check.
+        assert not any(outcome.ok for outcome in outcomes)
+        assert all(outcome.skipped for outcome in outcomes)
+        errors = [outcome.error for outcome in outcomes if outcome.error is not None]
+        assert errors and all(isinstance(error, BudgetExceededError) for error in errors)

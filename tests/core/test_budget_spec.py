@@ -103,3 +103,48 @@ class TestImputeSpec:
         data = generate_restaurant_dataset(50, seed=1)
         with pytest.raises(SpecError):
             ImputeSpec(data=data, n_examples=-1).validate()
+
+
+class TestBudgetLease:
+    def test_lease_measures_only_its_own_charges(self):
+        parent = Budget(limit=1.0)
+        left = parent.lease(0.4)
+        right = parent.lease(0.4)
+        left.charge(0.3)
+        # Sibling leases are independent: right has spent nothing.
+        assert left.spent == pytest.approx(0.3)
+        assert right.spent == 0.0
+        assert right.remaining == pytest.approx(0.4)
+        # Every dollar still reached the shared parent.
+        assert parent.spent == pytest.approx(0.3)
+
+    def test_lease_caps_even_an_unlimited_parent(self):
+        parent = Budget()
+        lease = parent.lease(0.01)
+        assert not lease.unlimited
+        assert lease.remaining == pytest.approx(0.01)
+        with pytest.raises(BudgetExceededError):
+            lease.charge(0.02)
+        # The overshooting charge is still recorded, like Budget.charge.
+        assert lease.spent == pytest.approx(0.02)
+        assert parent.spent == pytest.approx(0.02)
+
+    def test_lease_respects_the_parent_limit(self):
+        parent = Budget(limit=0.05)
+        parent.charge(0.04)
+        lease = parent.lease(0.5)
+        assert lease.remaining == pytest.approx(0.01)
+        assert not lease.can_afford(0.02)
+
+    def test_nested_leases_forward_to_the_root(self):
+        root = Budget(limit=1.0)
+        cap = root.lease(0.5)
+        step = cap.lease(0.2)
+        step.charge(0.1)
+        assert step.spent == pytest.approx(0.1)
+        assert cap.spent == pytest.approx(0.1)
+        assert root.spent == pytest.approx(0.1)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Budget().lease(-0.1)

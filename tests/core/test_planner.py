@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import string
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.planner import CostPlanner
+from repro.core.spec import PipelineSpec, PipelineStep, ResolveSpec, SortSpec
 from repro.data.flavors import FLAVORS
 from repro.data.words import random_words
 from repro.exceptions import ConfigurationError
@@ -91,3 +96,128 @@ class TestPlannerAgainstMeasuredCost:
         assert predicted.calls == measured.usage.calls
         ratio = predicted.usage.prompt_tokens / measured.usage.prompt_tokens
         assert 1 / 3 <= ratio <= 3
+
+
+# Hypothesis strategies for the property suite: short lowercase "items".
+_item = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+_items = st.lists(_item, min_size=2, max_size=25)
+_extra_items = st.lists(_item, min_size=1, max_size=10)
+
+
+def _planner() -> CostPlanner:
+    return CostPlanner("sim-gpt-3.5-turbo")
+
+
+class TestCostPlannerProperties:
+    """Property tests: shape monotonicity and pipeline-quote additivity."""
+
+    @given(items=_items, extra=_extra_items)
+    @settings(max_examples=60)
+    def test_shapes_are_monotone_in_item_count(self, items, extra):
+        """Adding items never makes any cost shape cheaper."""
+        planner = _planner()
+        grown = items + extra
+        shapes = [
+            lambda xs: planner.single_prompt(xs),
+            lambda xs: planner.per_item(xs),
+            lambda xs: planner.per_item(xs, batch_size=5),
+            lambda xs: planner.pairwise(xs),
+            lambda xs: planner.pairwise_against(xs, 3),
+        ]
+        for shape in shapes:
+            small, large = shape(items), shape(grown)
+            assert small.calls <= large.calls
+            assert small.dollars <= large.dollars + 1e-12
+            assert small.usage.total_tokens <= large.usage.total_tokens
+
+    @given(items=_items, extra=_extra_items)
+    @settings(max_examples=60)
+    def test_pair_judgments_monotone_in_pair_count(self, items, extra):
+        planner = _planner()
+        pairs = [(item, item[::-1]) for item in items]
+        grown = pairs + [(item, item + "x") for item in extra]
+        small = planner.pair_judgments(pairs)
+        large = planner.pair_judgments(grown)
+        assert small.calls <= large.calls
+        assert small.dollars <= large.dollars + 1e-12
+
+    @given(
+        branches=st.lists(
+            st.lists(_item, min_size=2, max_size=15), min_size=1, max_size=5
+        )
+    )
+    @settings(max_examples=40)
+    def test_pipeline_quote_is_the_sum_of_step_quotes(self, branches):
+        planner = _planner()
+        steps = [
+            PipelineStep(
+                f"sort-{index}",
+                task=SortSpec(items=items, criterion="weight", strategy="rating"),
+            )
+            for index, items in enumerate(branches)
+        ]
+        steps.append(
+            PipelineStep(
+                "judge",
+                task=ResolveSpec(
+                    pairs=[(branches[0][0], branches[0][1])], strategy="pairwise"
+                ),
+            )
+        )
+        pipeline = PipelineSpec(name="quoted", steps=steps)
+        quote = planner.quote_pipeline(pipeline)
+        per_step = [planner.estimate_spec(step.task) for step in steps]
+        assert quote.total_calls == sum(estimate.calls for estimate in per_step)
+        assert quote.total_dollars == pytest.approx(
+            sum(estimate.dollars for estimate in per_step)
+        )
+        assert quote.total_usage.total_tokens == sum(
+            estimate.usage.total_tokens for estimate in per_step
+        )
+        assert set(quote.steps) == {step.name for step in steps}
+        assert quote.unquoted == ()
+
+    def test_dynamic_steps_are_listed_as_unquoted(self):
+        pipeline = PipelineSpec(
+            name="partial",
+            steps=[
+                PipelineStep("block", run=lambda session, inputs: []),
+                PipelineStep(
+                    "resolve",
+                    task=lambda inputs: ResolveSpec(pairs=inputs["block"]),
+                    depends_on=("block",),
+                ),
+                PipelineStep(
+                    "sort",
+                    task=SortSpec(items=list(FLAVORS[:4]), criterion=CHOCOLATEY),
+                ),
+            ],
+        )
+        quote = _planner().quote_pipeline(pipeline)
+        assert set(quote.steps) == {"sort"}
+        assert quote.unquoted == ("block", "resolve")
+
+    def test_spec_estimates_follow_strategy_shapes(self):
+        planner = _planner()
+        items = list(FLAVORS)
+        rating = planner.estimate_spec(
+            SortSpec(items=items, criterion=CHOCOLATEY, strategy="rating")
+        )
+        pairwise = planner.estimate_spec(
+            SortSpec(items=items, criterion=CHOCOLATEY, strategy="pairwise")
+        )
+        assert rating.strategy == "sort:rating"
+        assert rating.calls == len(items)
+        assert pairwise.calls == len(items) * (len(items) - 1) // 2
+        assert rating.dollars < pairwise.dollars
+
+    def test_transitive_resolve_expands_per_pair_calls(self):
+        planner = _planner()
+        pairs = [(left, right) for left, right in zip(FLAVORS[:5], FLAVORS[5:10])]
+        plain = planner.estimate_spec(ResolveSpec(pairs=pairs, strategy="pairwise"))
+        augmented = planner.estimate_spec(
+            ResolveSpec(pairs=pairs, strategy="transitive", neighbors_k=1)
+        )
+        assert plain.calls == len(pairs)
+        # C(2k+2, 2) = 6 comparisons per queried pair at k = 1.
+        assert augmented.calls == 6 * len(pairs)

@@ -40,6 +40,17 @@ class TestPromptSession:
             for flavor in FLAVORS:
                 session.complete(rating_prompt(flavor, CHOCOLATEY))
 
+    def test_batch_charges_every_response_before_raising(self):
+        """Regression: a limit breach mid-batch used to stop the charging
+        loop, leaving the budget understating what was actually spent."""
+        budget = Budget(limit=5e-5)
+        session = PromptSession(SimulatedLLM(flavor_oracle(), seed=82), budget=budget)
+        prompts = [rating_prompt(flavor, CHOCOLATEY) for flavor in FLAVORS]
+        with pytest.raises(BudgetExceededError):
+            session.complete_batch(prompts)
+        # Every tracked dollar reached the budget, overshoot included.
+        assert budget.spent == pytest.approx(session.tracker.cost())
+
     def test_client_view_routes_through_session(self, session):
         client = session.client()
         client.complete(rating_prompt(FLAVORS[2], CHOCOLATEY))
@@ -87,3 +98,38 @@ class TestWorkflow:
     def test_empty_workflow_rejected(self, session):
         with pytest.raises(SpecError):
             Workflow().execute(session)
+
+    def test_legacy_add_step_builds_a_degenerate_chain(self):
+        workflow = Workflow("chain")
+        workflow.add_step("first", lambda session_, results: 1)
+        workflow.add_step("second", lambda session_, results: 2)
+        workflow.add_step("third", lambda session_, results: 3)
+        assert [step.depends_on for step in workflow.steps] == [(), ("first",), ("second",)]
+        assert workflow.waves() == [["first"], ["second"], ["third"]]
+
+    def test_second_workflow_on_same_session_reports_only_its_own_usage(self, session):
+        """Regression: totals used to be session-lifetime, double-counting reuse."""
+
+        def rate(flavor):
+            def step(session_, results):
+                return session_.complete(rating_prompt(flavor, CHOCOLATEY)).text
+
+            return step
+
+        report_one = Workflow("first").add_step("rate", rate(FLAVORS[0])).execute(session)
+        report_two = Workflow("second").add_step("rate", rate(FLAVORS[1])).execute(session)
+
+        assert report_one.total_prompt_tokens > 0
+        assert report_two.total_prompt_tokens > 0
+        lifetime = session.tracker.usage
+        # Each report carries its own delta; before the fix the second report
+        # repeated the first run's usage on top of its own.
+        assert report_two.total_prompt_tokens < lifetime.prompt_tokens
+        assert (
+            report_one.total_prompt_tokens + report_two.total_prompt_tokens
+            == lifetime.prompt_tokens
+        )
+        assert report_one.total_calls + report_two.total_calls == lifetime.calls
+        assert report_one.total_cost + report_two.total_cost == pytest.approx(
+            session.tracker.cost()
+        )
