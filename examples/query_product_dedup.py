@@ -1,0 +1,80 @@
+"""Product dedup as one fluent chain: filter -> resolve -> top_k.
+
+Run with:  python examples/query_product_dedup.py
+
+A synthetic product feed contains several listings per underlying product
+(clean plus "refurb" variants).  The query keeps electronics with a short
+brand word, deduplicates to one representative listing per product, and
+asks for the top three by importance — under a hard $0.25 budget cap.
+
+The interesting part happens before execution: ``.explain()`` shows that
+the optimizer ran the cheap per-item filter ahead of the pairwise dedup
+and (on a feed this size) wired an LLM-free embedding-blocking proxy in
+front of the duplicate judgments, so the executed pipeline asks the LLM
+about ~k·n candidate pairs instead of all O(n²).
+"""
+
+from __future__ import annotations
+
+from repro import Dataset, DeclarativeEngine, SimulatedLLM
+from repro.llm.oracle import Oracle
+
+WORDS = [
+    "laptop", "monitor", "keyboard", "mouse", "webcam", "router",
+    "speaker", "headset", "printer", "scanner", "tablet", "charger",
+]
+
+
+def product_feed() -> tuple[list[str], Oracle]:
+    """Listings with duplicate variants plus the ground-truth oracle.
+
+    The variants share most of their text (like real retailer feeds), which
+    is what lets the noisy duplicate judgments recognise them reliably.
+    """
+    items: list[str] = []
+    entities: dict[str, str] = {}
+    scores: dict[str, float] = {}
+    for rank, word in enumerate(WORDS):
+        base = f"{word} pro 4000 wireless workstation device"
+        for variant, text in enumerate([base, base + " refurbished", base + " (open box)"]):
+            items.append(text)
+            entities[text] = word
+            scores[text] = float((len(WORDS) - rank) * 100 - variant)
+    oracle = Oracle()
+    oracle.register_entities(entities)
+    oracle.register_scores("important to stock", scores)
+    oracle.register_predicate("has a short brand word", lambda text: len(text.split()[0]) <= 6)
+    return items, oracle
+
+
+def main() -> None:
+    items, oracle = product_feed()
+    engine = DeclarativeEngine(SimulatedLLM(oracle, seed=3), default_model="sim-gpt-3.5-turbo")
+
+    query = (
+        Dataset(items, name="product-feed")
+        .filter("has a short brand word")
+        .resolve()  # one representative listing per product
+        .top_k("important to stock", k=3, strategy="pairwise_tournament")
+        .with_budget(0.25)
+    )
+
+    print(f"{len(items)} listings in the feed; nothing has run yet.\n")
+    print(query.explain())
+    print()
+    naive = query.quote(optimized=False)
+    optimized = query.quote()
+    print(
+        f"naive plan would quote  {naive.total_calls:>4} calls / ${naive.total_dollars:.6f}\n"
+        f"optimized plan quotes   {optimized.total_calls:>4} calls / ${optimized.total_dollars:.6f}"
+    )
+
+    result = query.run(engine)
+    print("\ntop 3 products to stock:", result.items)
+    print(f"executed: {result.total_calls} calls, ${result.total_cost:.6f}")
+    for name, report in result.report.step_reports.items():
+        print(f"  {name:<12} {report.status:<10} {report.calls:>4} calls  ${report.cost:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,23 +7,38 @@ filter, top-k, cluster) with multiple prompting strategies per operator, a
 budget-aware execution engine, quality control drawn from the crowdsourcing
 literature, and a simulated LLM substrate so everything runs offline.
 
-Quickstart::
+Quickstart (the fluent declarative API)::
 
-    from repro import DeclarativeEngine, SortSpec
+    from repro import Dataset, DeclarativeEngine, SimulatedLLM
     from repro.data import FLAVORS, flavor_oracle
-    from repro.llm import SimulatedLLM
 
     engine = DeclarativeEngine(SimulatedLLM(flavor_oracle()))
-    result = engine.sort(SortSpec(items=list(FLAVORS), criterion="chocolatey",
-                                  strategy="pairwise"))
-    print(result.order[:3], result.usage.total_tokens)
+    result = (
+        Dataset(list(FLAVORS), name="flavors")
+        .sort("chocolatey", strategy="pairwise")
+        .top_k("chocolatey", k=3)
+        .run(engine)
+    )
+    print(result.items, result.total_cost)
 """
 
 from repro.core.budget import Budget
 from repro.core.engine import DeclarativeEngine
 from repro.core.session import PromptSession
-from repro.core.spec import ImputeSpec, PipelineSpec, PipelineStep, ResolveSpec, SortSpec
+from repro.core.spec import (
+    CategorizeSpec,
+    ClusterSpec,
+    FilterSpec,
+    ImputeSpec,
+    JoinSpec,
+    PipelineSpec,
+    PipelineStep,
+    ResolveSpec,
+    SortSpec,
+    TopKSpec,
+)
 from repro.core.workflow import Workflow
+from repro.query import Dataset, LogicalPlan, QueryResult, compile_plan, optimize
 from repro.exceptions import (
     BudgetExceededError,
     ContextLengthExceededError,
@@ -48,18 +63,25 @@ __version__ = "0.1.0"
 __all__ = [
     "Budget",
     "BudgetExceededError",
+    "CategorizeSpec",
     "ClusterOperator",
+    "ClusterSpec",
     "ContextLengthExceededError",
     "CountOperator",
+    "Dataset",
     "DeclarativeEngine",
     "FilterOperator",
+    "FilterSpec",
     "HashingEmbedder",
     "ImputeOperator",
     "ImputeSpec",
+    "JoinSpec",
+    "LogicalPlan",
     "Oracle",
     "PipelineSpec",
     "PipelineStep",
     "PromptSession",
+    "QueryResult",
     "ReproError",
     "ResolveOperator",
     "ResolveSpec",
@@ -68,7 +90,10 @@ __all__ = [
     "SortOperator",
     "SortSpec",
     "SpecError",
+    "TopKSpec",
     "UnknownStrategyError",
     "Workflow",
     "__version__",
+    "compile_plan",
+    "optimize",
 ]

@@ -14,14 +14,23 @@ from repro.core.optimizer import StrategyCandidate, StrategyEvaluation, Strategy
 from repro.core.planner import CostEstimate, CostPlanner, PipelineQuote
 from repro.core.session import BudgetScopedSession, PromptSession
 from repro.core.spec import (
+    CategorizeSpec,
+    ClusterSpec,
+    FilterSpec,
     ImputeSpec,
+    JoinSpec,
     PipelineSpec,
     PipelineStep,
     ResolveSpec,
     SortSpec,
     TaskSpec,
+    TopKSpec,
 )
 from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
+
+# The fluent query frontend compiles onto this package's engine; imported
+# last so repro.query can import the core submodules above.
+from repro.query import Dataset, LogicalPlan, QueryResult, compile_plan, optimize
 
 __all__ = [
     "BatchExecutor",
@@ -29,14 +38,21 @@ __all__ = [
     "Budget",
     "BudgetLease",
     "BudgetScopedSession",
+    "CategorizeSpec",
+    "ClusterSpec",
     "CostEstimate",
     "CostPlanner",
+    "Dataset",
     "DeclarativeEngine",
+    "FilterSpec",
     "ImputeSpec",
+    "JoinSpec",
+    "LogicalPlan",
     "PipelineQuote",
     "PipelineSpec",
     "PipelineStep",
     "PromptSession",
+    "QueryResult",
     "ResolveSpec",
     "SortSpec",
     "StrategyCandidate",
@@ -44,6 +60,9 @@ __all__ = [
     "StrategySelector",
     "TaskOutcome",
     "TaskSpec",
+    "TopKSpec",
+    "compile_plan",
+    "optimize",
     "topological_waves",
     "transitive_dependencies",
     "Workflow",

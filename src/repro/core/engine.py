@@ -28,7 +28,18 @@ from repro.core.budget import Budget, BudgetLease
 from repro.core.optimizer import StrategyCandidate, StrategySelector
 from repro.core.planner import CostPlanner, PipelineQuote
 from repro.core.session import PromptSession
-from repro.core.spec import ImputeSpec, PipelineSpec, ResolveSpec, SortSpec, TaskSpec
+from repro.core.spec import (
+    CategorizeSpec,
+    ClusterSpec,
+    FilterSpec,
+    ImputeSpec,
+    JoinSpec,
+    PipelineSpec,
+    ResolveSpec,
+    SortSpec,
+    TaskSpec,
+    TopKSpec,
+)
 from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
 from repro.data.products import ImputationDataset
 from repro.data.record import Dataset
@@ -38,9 +49,15 @@ from repro.llm.registry import ModelRegistry
 from repro.metrics.classification import accuracy as exact_match_accuracy
 from repro.metrics.classification import f1_score
 from repro.metrics.ranking import kendall_tau_b
+from repro.operators.categorize import CategorizeOperator, CategorizeResult
+from repro.operators.cluster import ClusterOperator, ClusterResult
+from repro.operators.filter import FilterOperator, FilterResult
 from repro.operators.impute import ImputeOperator, ImputeResult
-from repro.operators.resolve import PairJudgmentResult, ResolveOperator
+from repro.operators.join import JoinOperator, JoinResult
+from repro.operators.resolve import PairJudgmentResult, ResolveOperator, ResolveResult
 from repro.operators.sort import SortOperator, SortResult
+from repro.operators.top_k import TopKOperator, TopKResult
+from repro.tokenizer.cost import Usage
 
 
 class DeclarativeEngine:
@@ -48,17 +65,38 @@ class DeclarativeEngine:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: LLMClient | None = None,
         *,
         registry: ModelRegistry | None = None,
         budget: Budget | None = None,
         default_model: str | None = None,
         max_concurrency: int = 1,
+        session: PromptSession | None = None,
     ) -> None:
-        self.session = PromptSession(
-            client, registry=registry, budget=budget, max_concurrency=max_concurrency
-        )
+        if session is not None:
+            if client is not None or registry is not None or budget is not None:
+                raise SpecError(
+                    "pass either an existing session or client/registry/budget, not both"
+                )
+            self.session = session
+        else:
+            if client is None:
+                raise SpecError("DeclarativeEngine needs a client or a session")
+            self.session = PromptSession(
+                client, registry=registry, budget=budget, max_concurrency=max_concurrency
+            )
         self.default_model = default_model
+
+    @classmethod
+    def from_session(
+        cls, session: PromptSession, *, default_model: str | None = None
+    ) -> "DeclarativeEngine":
+        """An engine running over an existing session (shared budget/cache).
+
+        The fluent :class:`~repro.query.Dataset` API uses this so a query can
+        execute against a session the caller already owns.
+        """
+        return cls(session=session, default_model=default_model)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -141,14 +179,17 @@ class DeclarativeEngine:
 
     def resolve(
         self, spec: ResolveSpec, *, budget: Budget | BudgetLease | None = None
-    ) -> PairJudgmentResult:
-        """Execute a resolve spec over labelled or unlabelled pairs."""
+    ) -> PairJudgmentResult | ResolveResult:
+        """Execute a resolve spec.
+
+        With ``pairs`` the spec is a pair-judgment task (the Table 3
+        setting) and returns a :class:`PairJudgmentResult`.  With records
+        only, it is a whole-corpus clustering task and returns a
+        :class:`ResolveResult` whose ``clusters`` hold record indices.
+        """
         spec.validate()
         if not spec.pairs:
-            raise SpecError(
-                "DeclarativeEngine.resolve currently requires pairs; use ResolveOperator.resolve "
-                "directly for whole-corpus clustering"
-            )
+            return self._resolve_records(spec, budget=budget)
         strategy = spec.strategy
         options = dict(spec.strategy_options)
         if strategy == "auto":
@@ -160,6 +201,21 @@ class DeclarativeEngine:
             corpus=list(spec.records) or None,
             neighbors_k=options.pop("neighbors_k", spec.neighbors_k),
             **options,
+        )
+
+    def _resolve_records(
+        self, spec: ResolveSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> ResolveResult:
+        """Cluster the spec's records into duplicate groups."""
+        strategy = spec.strategy
+        if strategy == "auto":
+            # The paper's most accurate general-purpose strategy; the query
+            # optimizer downgrades to blocked_pairwise when the planner says
+            # a blocking proxy pays for itself.
+            strategy = "pairwise"
+        operator = ResolveOperator(self.session.client(budget), **self._operator_kwargs(budget))
+        return operator.resolve(
+            list(spec.records), strategy=strategy, **dict(spec.strategy_options)
         )
 
     def _choose_resolve_strategy(
@@ -264,6 +320,103 @@ class DeclarativeEngine:
         )
         return chosen.candidate.name
 
+    # -- filter -------------------------------------------------------------------
+
+    def filter(
+        self, spec: FilterSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> FilterResult:
+        """Execute a filter spec, applying conjunctive predicates in order.
+
+        A multi-predicate (fused) spec checks each predicate over the
+        survivors of the previous one, so later predicates never spend calls
+        on items an earlier predicate already rejected.
+        """
+        spec.validate()
+        strategy = spec.strategy if spec.strategy != "auto" else "per_item"
+        options = dict(spec.strategy_options)
+        survivors = [str(item) for item in spec.items]
+        usage = Usage()
+        cost = 0.0
+        votes = 0
+        decisions = {item: True for item in survivors}
+        result: FilterResult | None = None
+        for predicate in spec.all_predicates:
+            if not survivors:
+                break
+            operator = FilterOperator(
+                self.session.client(budget), predicate, **self._operator_kwargs(budget)
+            )
+            result = operator.run(survivors, strategy=strategy, **options)
+            for item in survivors:
+                decisions[item] = result.decisions.get(item, False)
+            survivors = list(result.kept)
+            usage.add(result.usage)
+            cost += result.cost
+            votes += result.votes_used
+        merged = FilterResult(
+            strategy=strategy, kept=survivors, decisions=decisions, votes_used=votes
+        )
+        merged.usage = usage
+        merged.cost = cost
+        if result is not None:
+            merged.metadata = dict(result.metadata)
+        merged.metadata["predicates"] = list(spec.all_predicates)
+        return merged
+
+    # -- categorize ---------------------------------------------------------------
+
+    def categorize(
+        self, spec: CategorizeSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> CategorizeResult:
+        """Execute a categorize spec."""
+        spec.validate()
+        strategy = spec.strategy if spec.strategy != "auto" else "per_item"
+        operator = CategorizeOperator(
+            self.session.client(budget), list(spec.categories), **self._operator_kwargs(budget)
+        )
+        return operator.run(list(spec.items), strategy=strategy, **dict(spec.strategy_options))
+
+    # -- top-k --------------------------------------------------------------------
+
+    def top_k(
+        self, spec: TopKSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> TopKResult:
+        """Execute a top-k spec."""
+        spec.validate()
+        strategy = (
+            spec.strategy if spec.strategy != "auto" else "hybrid_rating_comparison"
+        )
+        operator = TopKOperator(
+            self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
+        )
+        return operator.run(
+            list(spec.items), k=spec.k, strategy=strategy, **dict(spec.strategy_options)
+        )
+
+    # -- join ---------------------------------------------------------------------
+
+    def join(
+        self, spec: JoinSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> JoinResult:
+        """Execute a join spec."""
+        spec.validate()
+        strategy = spec.strategy if spec.strategy != "auto" else "blocked"
+        operator = JoinOperator(self.session.client(budget), **self._operator_kwargs(budget))
+        return operator.run(
+            list(spec.left), list(spec.right), strategy=strategy, **dict(spec.strategy_options)
+        )
+
+    # -- cluster ------------------------------------------------------------------
+
+    def cluster(
+        self, spec: ClusterSpec, *, budget: Budget | BudgetLease | None = None
+    ) -> ClusterResult:
+        """Execute a cluster spec."""
+        spec.validate()
+        strategy = spec.strategy if spec.strategy != "auto" else "two_phase"
+        operator = ClusterOperator(self.session.client(budget), **self._operator_kwargs(budget))
+        return operator.run(list(spec.items), strategy=strategy, **dict(spec.strategy_options))
+
     # -- pipelines ----------------------------------------------------------------
 
     def run_spec(
@@ -276,6 +429,16 @@ class DeclarativeEngine:
             return self.resolve(spec, budget=budget)
         if isinstance(spec, ImputeSpec):
             return self.impute(spec, budget=budget)
+        if isinstance(spec, FilterSpec):
+            return self.filter(spec, budget=budget)
+        if isinstance(spec, CategorizeSpec):
+            return self.categorize(spec, budget=budget)
+        if isinstance(spec, TopKSpec):
+            return self.top_k(spec, budget=budget)
+        if isinstance(spec, JoinSpec):
+            return self.join(spec, budget=budget)
+        if isinstance(spec, ClusterSpec):
+            return self.cluster(spec, budget=budget)
         raise SpecError(f"cannot execute spec type {type(spec).__name__}")
 
     def planner(self, model: str | None = None) -> CostPlanner:
@@ -337,4 +500,11 @@ class DeclarativeEngine:
             raise SpecError(
                 f"pipeline step {step.name!r} produced {type(task).__name__}, expected a TaskSpec"
             )
+        try:
+            task.validate()
+        except SpecError as exc:
+            # A factory-built spec cannot be checked at compile time; name the
+            # step here so a run-time failure (e.g. an upstream filter left no
+            # items) is attributable without digging through the DAG.
+            raise SpecError(f"pipeline step {step.name!r}: {exc}") from exc
         return self.run_spec(task, budget=lease)

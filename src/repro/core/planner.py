@@ -23,7 +23,18 @@ import math
 from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
-from repro.core.spec import ImputeSpec, PipelineSpec, ResolveSpec, SortSpec, TaskSpec
+from repro.core.spec import (
+    CategorizeSpec,
+    ClusterSpec,
+    FilterSpec,
+    ImputeSpec,
+    JoinSpec,
+    PipelineSpec,
+    ResolveSpec,
+    SortSpec,
+    TaskSpec,
+    TopKSpec,
+)
 from repro.exceptions import ConfigurationError, SpecError
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.tokenizer.cost import Usage
@@ -197,6 +208,16 @@ class CostPlanner:
             estimate = self._estimate_resolve(spec)
         elif isinstance(spec, ImputeSpec):
             estimate = self._estimate_impute(spec)
+        elif isinstance(spec, FilterSpec):
+            estimate = self._estimate_filter(spec)
+        elif isinstance(spec, CategorizeSpec):
+            estimate = self._estimate_categorize(spec)
+        elif isinstance(spec, TopKSpec):
+            estimate = self._estimate_top_k(spec)
+        elif isinstance(spec, JoinSpec):
+            estimate = self._estimate_join(spec)
+        elif isinstance(spec, ClusterSpec):
+            estimate = self._estimate_cluster(spec)
         else:
             raise SpecError(
                 f"cannot estimate cost for spec type {type(spec).__name__}"
@@ -263,6 +284,126 @@ class CostPlanner:
             queries = [spec.data.serialized_query(record) for record in spec.data.queries]
             estimate = self.per_item(queries)
         return replace(estimate, strategy=f"impute:{strategy}")
+
+    def _estimate_filter(self, spec: FilterSpec) -> CostEstimate:
+        items = list(spec.items)
+        strategy = spec.strategy
+        if strategy == "ensemble_vote":
+            multiplier = max(2, len(spec.strategy_options.get("models", ())))
+        elif strategy == "adaptive":
+            # Upper bound: every item stays contentious until the vote limit.
+            voters = max(2, len(spec.strategy_options.get("models", ())))
+            multiplier = int(spec.strategy_options.get("max_votes_per_item") or voters)
+        else:
+            # "per_item" and "auto" (the engine's default) — one check per item.
+            multiplier = 1
+        # Each predicate only re-checks the expected survivors of the ones
+        # before it (the engine runs them over a shrinking set), so a fused
+        # multi-predicate spec quotes exactly like sequential filter steps.
+        selectivities = list(spec.expected_selectivities)
+        calls = 0
+        prompt_tokens = 0.0
+        completion_tokens = 0.0
+        survivors = items
+        for index in range(len(spec.all_predicates)):
+            per_predicate = self.per_item(survivors)
+            calls += per_predicate.calls * multiplier
+            prompt_tokens += per_predicate.usage.prompt_tokens * multiplier
+            completion_tokens += per_predicate.usage.completion_tokens * multiplier
+            selectivity = (
+                selectivities[index] if index < len(selectivities) else 0.5
+            )
+            kept = min(len(survivors), max(1, math.ceil(len(survivors) * selectivity)))
+            survivors = survivors[:kept]
+        estimate = self._estimate(strategy, calls, prompt_tokens, completion_tokens)
+        return replace(estimate, strategy=f"filter:{strategy}")
+
+    def _estimate_categorize(self, spec: CategorizeSpec) -> CostEstimate:
+        items = list(spec.items)
+        strategy = spec.strategy
+        # Every call carries the category menu in the prompt.
+        menu_tokens = sum(self.tokenizer.count(str(label)) for label in spec.categories)
+        if strategy == "self_consistency":
+            multiplier = int(spec.strategy_options.get("n_samples", 3))
+        elif strategy == "ensemble_vote":
+            multiplier = max(2, len(spec.strategy_options.get("models", ())))
+        else:  # "per_item" and "auto"
+            multiplier = 1
+        base = self.per_item(items)
+        estimate = self._estimate(
+            strategy,
+            calls=base.calls * multiplier,
+            prompt_tokens=(base.usage.prompt_tokens + len(items) * menu_tokens) * multiplier,
+            completion_tokens=base.usage.completion_tokens * multiplier,
+        )
+        return replace(estimate, strategy=f"categorize:{strategy}")
+
+    def _estimate_top_k(self, spec: TopKSpec) -> CostEstimate:
+        items = list(spec.items)
+        strategy = spec.strategy
+        if strategy == "rating_only":
+            estimate = self.per_item(items)
+        elif strategy == "pairwise_tournament":
+            estimate = self.pairwise(items)
+        else:
+            # "hybrid_rating_comparison" and "auto" (the operator default):
+            # rate everything, then a tournament among the shortlist.
+            factor = int(spec.strategy_options.get("shortlist_factor", 3))
+            shortlist = items[: min(len(items), max(spec.k, spec.k * factor))]
+            ratings = self.per_item(items)
+            tournament = (
+                self.pairwise(shortlist)
+                if len(shortlist) >= 2
+                else self._estimate("pairwise", 0, 0, 0)
+            )
+            estimate = self._estimate(
+                strategy,
+                calls=ratings.calls + tournament.calls,
+                prompt_tokens=ratings.usage.prompt_tokens + tournament.usage.prompt_tokens,
+                completion_tokens=ratings.usage.completion_tokens
+                + tournament.usage.completion_tokens,
+            )
+        return replace(estimate, strategy=f"top_k:{strategy}")
+
+    def _estimate_join(self, spec: JoinSpec) -> CostEstimate:
+        left = list(spec.left)
+        strategy = spec.strategy
+        if strategy == "all_pairs":
+            estimate = self.pairwise_against(left, len(spec.right))
+        else:
+            # "blocked", "proxy_blocked", and "auto" (the operator default is
+            # blocked) ask about ~block_k candidates per left record;
+            # proxy_blocked answers part of those for free, so pricing it
+            # like blocked is a conservative upper bound.
+            block_k = int(spec.strategy_options.get("block_k", 3))
+            estimate = self.pairwise_against(left, min(block_k, len(spec.right)))
+        return replace(estimate, strategy=f"join:{strategy}")
+
+    def _estimate_cluster(self, spec: ClusterSpec) -> CostEstimate:
+        items = list(spec.items)
+        strategy = spec.strategy
+        if strategy == "single_prompt":
+            estimate = self.single_prompt(items)
+        else:
+            # "two_phase" and "auto" (the operator default): one grouping
+            # prompt over the seed, then each remaining item is compared
+            # against the discovered representatives.  The representative
+            # count is unknown a priori; half the seed is the heuristic.
+            seed_size = min(int(spec.strategy_options.get("seed_size", 12)), len(items))
+            remaining = items[seed_size:]
+            seed_prompt = self.single_prompt(items[:seed_size])
+            if remaining:
+                assignments = self.pairwise_against(remaining, max(1, seed_size // 2))
+            else:
+                assignments = self._estimate("pairwise_against", 0, 0, 0)
+            estimate = self._estimate(
+                strategy,
+                calls=seed_prompt.calls + assignments.calls,
+                prompt_tokens=seed_prompt.usage.prompt_tokens + assignments.usage.prompt_tokens,
+                completion_tokens=seed_prompt.usage.completion_tokens
+                + assignments.usage.completion_tokens,
+            )
+        return replace(estimate, strategy=f"cluster:{strategy}")
 
     def quote_pipeline(self, pipeline: PipelineSpec) -> PipelineQuote:
         """Quote a whole pipeline before running it.

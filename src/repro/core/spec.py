@@ -69,8 +69,10 @@ class SortSpec(TaskSpec):
         super().validate()
         if not self.criterion:
             raise SpecError("a sort spec needs a criterion")
-        if len(self.items) < 2:
-            raise SpecError("a sort spec needs at least two items")
+        if not self.items:
+            # One item is a valid degenerate sort (the operator returns it
+            # without any LLM calls); an empty list is a mis-wired spec.
+            raise SpecError("a sort spec needs at least one item")
         unknown = set(self.validation_order) - set(self.items)
         if unknown:
             raise SpecError(f"validation items not present in the input: {sorted(unknown)}")
@@ -112,6 +114,108 @@ class ImputeSpec(TaskSpec):
 
 
 @dataclass
+class FilterSpec(TaskSpec):
+    """Keep the ``items`` satisfying a natural-language ``predicate``.
+
+    ``predicates`` may carry several conjunctive predicates (every one must
+    hold); the engine applies them in order over a shrinking survivor set —
+    the fused form the query optimizer emits for adjacent ``.filter()``
+    calls.  Setting ``predicate`` is shorthand for a single-element
+    ``predicates``.  ``expected_selectivities`` optionally gives the planner
+    a surviving-fraction prior per predicate (0.5 each when omitted), so a
+    fused spec quotes exactly like the equivalent sequential steps.
+    """
+
+    items: Sequence[str] = ()
+    predicate: str = ""
+    predicates: Sequence[str] = ()
+    expected_selectivities: Sequence[float] = ()
+
+    @property
+    def all_predicates(self) -> tuple[str, ...]:
+        """The conjunctive predicate list, whichever field it was given in."""
+        if self.predicate:
+            return (self.predicate, *self.predicates)
+        return tuple(self.predicates)
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.all_predicates:
+            raise SpecError("a filter spec needs at least one predicate")
+        if any(not predicate for predicate in self.predicates):
+            raise SpecError("filter predicates must be non-empty strings")
+        if not self.items:
+            raise SpecError("a filter spec needs at least one item")
+        if any(not 0.0 < value <= 1.0 for value in self.expected_selectivities):
+            raise SpecError("expected_selectivities must be in (0, 1]")
+
+
+@dataclass
+class CategorizeSpec(TaskSpec):
+    """Assign each of ``items`` to one of the fixed ``categories``."""
+
+    items: Sequence[str] = ()
+    categories: Sequence[str] = ()
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.items:
+            raise SpecError("a categorize spec needs at least one item")
+        labels = [str(category) for category in self.categories]
+        if len(labels) < 2:
+            raise SpecError("a categorize spec needs at least two categories")
+        if len(set(labels)) != len(labels):
+            raise SpecError("categories must be distinct")
+
+
+@dataclass
+class TopKSpec(TaskSpec):
+    """Find the top ``k`` of ``items`` under ``criterion``."""
+
+    items: Sequence[str] = ()
+    criterion: str = ""
+    k: int = 1
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.criterion:
+            raise SpecError("a top-k spec needs a criterion")
+        if not self.items:
+            raise SpecError("a top-k spec needs at least one item")
+        if self.k < 1:
+            raise SpecError("k must be at least 1")
+        if self.k > len(self.items):
+            raise SpecError(f"k={self.k} exceeds the number of items ({len(self.items)})")
+
+
+@dataclass
+class JoinSpec(TaskSpec):
+    """Fuzzy-join ``left`` records against ``right`` records."""
+
+    left: Sequence[str] = ()
+    right: Sequence[str] = ()
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.left or not self.right:
+            raise SpecError("a join spec needs at least one record on each side")
+
+
+@dataclass
+class ClusterSpec(TaskSpec):
+    """Group ``items`` that refer to the same underlying entity or category."""
+
+    items: Sequence[str] = ()
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.items:
+            raise SpecError("a cluster spec needs at least one item")
+        if len(self.items) != len(set(self.items)):
+            raise SpecError("cluster items must be unique strings")
+
+
+@dataclass
 class PipelineStep:
     """One named step of a declarative pipeline.
 
@@ -148,7 +252,13 @@ class PipelineStep:
                 f"pipeline step {self.name!r} must set exactly one of task= and run="
             )
         if isinstance(self.task, TaskSpec):
-            self.task.validate()
+            try:
+                self.task.validate()
+            except SpecError as exc:
+                # Surface the offending step by name at compile time — an
+                # empty-items spec otherwise dies mid-run as a confusing
+                # operator error, after upstream steps have spent money.
+                raise SpecError(f"pipeline step {self.name!r}: {exc}") from exc
         elif self.task is not None and not callable(self.task):
             # Catch a malformed task statically, before upstream steps have
             # already spent money at run time.

@@ -93,6 +93,7 @@ class StepReport:
             delta unattributable).
         calls: LLM calls the step reported (spec steps only).
         allocation: the budget share apportioned to the step, if any.
+        description: the step's human-readable summary, copied from the spec.
     """
 
     name: str
@@ -100,6 +101,7 @@ class StepReport:
     cost: float = 0.0
     calls: int = 0
     allocation: float | None = None
+    description: str = ""
 
 
 @dataclass
@@ -259,7 +261,10 @@ class Workflow:
                 )
 
         report = WorkflowReport(waves=waves, quote=quote)
-        report.step_reports = {step.name: StepReport(name=step.name) for step in self._steps}
+        report.step_reports = {
+            step.name: StepReport(name=step.name, description=step.description)
+            for step in self._steps
+        }
 
         # Satellite fix: report this run's usage, not session-lifetime totals.
         usage_before = session.tracker.usage

@@ -1,0 +1,36 @@
+"""The fluent declarative query frontend.
+
+``Dataset`` is the user-facing builder (lazy, chainable operator methods);
+``optimize``/``DEFAULT_RULES`` expose the logical-plan rewrite rules;
+``compile_plan`` lowers a plan onto the DAG pipeline engine.  See
+:mod:`repro.query.dataset` for the end-to-end flow.
+"""
+
+from repro.query.compile import CompiledQuery, CompiledStep, compile_plan
+from repro.query.dataset import Dataset, QueryResult, render_explain
+from repro.query.optimizer import (
+    DEFAULT_RULES,
+    fuse_adjacent_filters,
+    insert_proxy_prefilters,
+    optimize,
+    push_filters_early,
+)
+from repro.query.plan import LogicalNode, LogicalPlan, estimated_items, source
+
+__all__ = [
+    "CompiledQuery",
+    "CompiledStep",
+    "DEFAULT_RULES",
+    "Dataset",
+    "LogicalNode",
+    "LogicalPlan",
+    "QueryResult",
+    "compile_plan",
+    "estimated_items",
+    "fuse_adjacent_filters",
+    "insert_proxy_prefilters",
+    "optimize",
+    "push_filters_early",
+    "render_explain",
+    "source",
+]

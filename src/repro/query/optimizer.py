@@ -1,0 +1,233 @@
+"""Rule-based logical-plan optimizer for the fluent Dataset API.
+
+The paper's thesis is that a declarative frontend should *reorder and
+restructure* LLM data work before spending a token on it.  This module is
+that reordering layer: a handful of rewrite rules over
+:class:`~repro.query.plan.LogicalPlan`, each annotated onto the plan so
+``.explain()`` can show what changed and why.
+
+Rules (applied in this order by :func:`optimize`):
+
+1. :func:`fuse_adjacent_filters` — consecutive ``.filter()`` calls with the
+   same strategy collapse into one conjunctive filter step; the engine runs
+   later predicates only over earlier predicates' survivors, so the fused
+   step costs no more than the chain and schedules as a single batched wave.
+2. :func:`push_filters_early` — a filter is commuted ahead of expensive
+   upstream ops whenever that is semantics-preserving: past per-pair sorts
+   (a subset's pairwise comparisons are the same prompts), past pairwise
+   duplicate resolution, and past annotating ops (whose side results are
+   then computed only for the survivors — the declarative contract is that
+   a query's observable output is its final item set plus the annotations
+   of the items that survive).  Filters are *not* pushed past ``top_k`` or
+   whole-list prompting strategies, where reordering changes the answer.
+3. :func:`insert_proxy_prefilters` — a pairwise dedup over n records costs
+   O(n²) LLM calls; when the :class:`~repro.core.planner.CostPlanner` says
+   an embedding-blocking proxy (k·n candidate pairs) is strictly cheaper,
+   the resolve node is rewritten to run an LLM-free
+   :class:`~repro.proxies.blocking.EmbeddingBlocker` step first and judge
+   only the candidate pairs.
+
+Dependency inference from data lineage (annotators off the critical item
+path, so independent branches schedule concurrently) happens at compile
+time — see :func:`repro.query.compile.compile_plan` — because it is a
+property of the lowering, not a plan rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.planner import CostPlanner
+from repro.query.plan import ANNOTATORS, LogicalNode, LogicalPlan, estimated_items
+
+#: Sort strategies whose unit prompts are per-pair or per-item, so sorting a
+#: subset issues a subset of the same prompts (commuting a filter past them
+#: cannot change the survivors' relative order at temperature 0).
+_PUSH_SAFE_SORT = {"auto", "pairwise", "pairwise_consistent", "rating"}
+#: Resolve strategies safe to commute a filter past (per-pair judgments).
+_PUSH_SAFE_RESOLVE = {"auto", "pairwise"}
+#: Minimum record count before a blocking proxy is worth considering.
+_PROXY_MIN_ITEMS = 8
+
+Rule = Callable[[LogicalPlan, CostPlanner], LogicalPlan]
+
+
+def _single_consumer_parent(
+    plan: LogicalPlan, node: LogicalNode
+) -> LogicalNode | None:
+    """``node``'s item parent, if this node is its only consumer."""
+    parent = node.item_parent
+    if parent is None:
+        return None
+    consumers = plan.consumers()
+    return parent if consumers.get(parent, []) == [node] else None
+
+
+def fuse_adjacent_filters(plan: LogicalPlan, planner: CostPlanner) -> LogicalPlan:
+    """Collapse filter-of-filter chains into one conjunctive filter node."""
+    changed = True
+    while changed:
+        changed = False
+        for node in plan.nodes():
+            if node.op != "filter":
+                continue
+            parent = _single_consumer_parent(plan, node)
+            if parent is None or parent.op != "filter":
+                continue
+            if node.params.get("strategy") != parent.params.get("strategy"):
+                continue
+            if node.params.get("options") != parent.params.get("options"):
+                continue
+            # Fusing would silently drop the parent's per-step caps if they
+            # differed; only identical targets can share one step.
+            if node.params.get("budget_dollars") != parent.params.get("budget_dollars"):
+                continue
+            if node.params.get("accuracy_target") != parent.params.get("accuracy_target"):
+                continue
+            if node.params.get("pushdown", True) != parent.params.get("pushdown", True):
+                continue
+            fused = node.with_params(
+                predicates=(*parent.params["predicates"], *node.params["predicates"]),
+                selectivities=(
+                    *parent.params.get("selectivities", (0.5,)),
+                    *node.params.get("selectivities", (0.5,)),
+                ),
+            ).with_inputs(*parent.inputs)
+            plan = plan.replaced(node, fused).noted(
+                "fused adjacent filters "
+                + " AND ".join(repr(p) for p in fused.params["predicates"])
+                + " into one conjunctive step"
+            )
+            changed = True
+            break
+    return plan
+
+
+def _pushable_past(node: LogicalNode) -> bool:
+    """Whether a per-item filter commutes past ``node`` without changing results."""
+    if node.op in ANNOTATORS:
+        return True
+    if node.op == "sort":
+        # A validation_order pins labelled items that a pushed filter could
+        # remove (and lets the auto-strategy selector pick whole-list
+        # strategies), so those sorts stay where the author put them.
+        return (
+            node.params.get("strategy", "auto") in _PUSH_SAFE_SORT
+            and not node.params.get("validation_order")
+        )
+    if node.op == "resolve":
+        return (
+            node.params.get("strategy", "auto") in _PUSH_SAFE_RESOLVE
+            and not node.params.get("proxy")
+        )
+    return False
+
+
+def push_filters_early(plan: LogicalPlan, planner: CostPlanner) -> LogicalPlan:
+    """Commute filters ahead of expensive upstream ops where safe.
+
+    Pushing a filter ahead of a dedup assumes the predicate is
+    *entity-level* (duplicate records agree on it) — the declarative
+    contract documented in :meth:`repro.query.Dataset.filter`.  Authors
+    whose predicate distinguishes duplicate variants opt out per filter
+    with ``pushdown=False``.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for node in plan.nodes():
+            if node.op != "filter" or not node.params.get("pushdown", True):
+                continue
+            parent = _single_consumer_parent(plan, node)
+            if parent is None or not _pushable_past(parent):
+                continue
+            pushed_filter = node.with_inputs(parent.inputs[0], *node.inputs[1:])
+            lifted_parent = parent.with_inputs(pushed_filter, *parent.inputs[1:])
+            plan = plan.replaced(node, lifted_parent).noted(
+                "pushed filter "
+                + " AND ".join(repr(p) for p in node.params["predicates"])
+                + f" ahead of {parent.op}"
+            )
+            changed = True
+            break
+    return plan
+
+
+def insert_proxy_prefilters(plan: LogicalPlan, planner: CostPlanner) -> LogicalPlan:
+    """Rewrite pairwise dedups to block with an embedding proxy when it pays."""
+    changed = True
+    while changed:
+        changed = False
+        # Rescan after every rewrite: replaced() rebuilds downstream node
+        # identities, so references from a pre-rewrite snapshot go stale.
+        for node in plan.nodes():
+            if node.op != "resolve" or node.params.get("proxy"):
+                continue
+            if node.params.get("strategy", "auto") not in _PUSH_SAFE_RESOLVE:
+                continue
+            parent = node.item_parent
+            assert parent is not None
+            items = estimated_items(parent)
+            if len(items) < _PROXY_MIN_ITEMS:
+                continue
+            block_k = int(node.params.get("block_k", 5))
+            pairwise_dollars = planner.pairwise(items).dollars
+            candidate_count = min(block_k * len(items), len(items) * (len(items) - 1) // 2)
+            blocked_dollars = planner.pair_judgments(
+                _synthetic_pairs(items, candidate_count)
+            ).dollars
+            if blocked_dollars >= pairwise_dollars:
+                continue
+            plan = plan.replaced(node, node.with_params(proxy=True, block_k=block_k)).noted(
+                f"inserted embedding-blocking proxy before resolve "
+                f"(~{candidate_count} candidate pairs instead of "
+                f"{len(items) * (len(items) - 1) // 2}: "
+                f"${blocked_dollars:.6f} vs ${pairwise_dollars:.6f})"
+            )
+            changed = True
+            break
+    return plan
+
+
+def _synthetic_pairs(items: Sequence[str], count: int) -> list[tuple[str, str]]:
+    """Deterministic representative pairs for pricing a blocked judgment set."""
+    pairs: list[tuple[str, str]] = []
+    n = len(items)
+    for distance in range(1, n):
+        for index in range(n - distance):
+            if len(pairs) >= count:
+                return pairs
+            pairs.append((items[index], items[index + distance]))
+    return pairs if pairs else [(items[0], items[0])]
+
+
+#: The standard rule set, in application order.  Fusion runs again after
+#: pushdown because commuting filters upward can make them adjacent.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    fuse_adjacent_filters,
+    push_filters_early,
+    fuse_adjacent_filters,
+    insert_proxy_prefilters,
+)
+
+
+def optimize(
+    plan: LogicalPlan,
+    *,
+    planner: CostPlanner | None = None,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+) -> LogicalPlan:
+    """Apply the rewrite rules to ``plan`` and return the optimized plan.
+
+    Args:
+        plan: the logical plan to rewrite (left untouched; plans are
+            immutable).
+        planner: cost planner the cost-based rules consult; defaults to a
+            planner over the library's default chat model.
+        rules: rules to apply, in order (defaults to :data:`DEFAULT_RULES`).
+    """
+    planner = planner or CostPlanner(DEFAULT_CONFIG.chat_model)
+    for rule in rules:
+        plan = rule(plan, planner)
+    return plan

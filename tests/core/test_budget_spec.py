@@ -62,9 +62,12 @@ class TestSortSpec:
         with pytest.raises(SpecError):
             SortSpec(items=["a", "b"]).validate()
 
-    def test_too_few_items(self):
+    def test_empty_items_rejected_single_item_allowed(self):
         with pytest.raises(SpecError):
-            SortSpec(items=["a"], criterion="size").validate()
+            SortSpec(items=[], criterion="size").validate()
+        # One item is a valid degenerate sort (the operator short-circuits
+        # without LLM calls), which compiled query factories rely on.
+        SortSpec(items=["a"], criterion="size").validate()
 
     def test_validation_items_must_be_subset(self):
         with pytest.raises(SpecError):

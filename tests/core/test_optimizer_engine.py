@@ -133,10 +133,14 @@ class TestDeclarativeEngine:
         assert result.strategy in {"knn", "hybrid", "llm_only"}
         assert set(result.predictions) == set(data.ground_truth)
 
-    def test_engine_resolve_requires_pairs(self, citation_corpus):
+    def test_engine_resolve_records_clusters(self, citation_corpus):
+        """Records-only resolve specs run whole-corpus clustering."""
         engine = DeclarativeEngine(SimulatedLLM(citation_corpus.oracle(), seed=94))
-        with pytest.raises(SpecError):
-            engine.resolve(ResolveSpec(records=citation_corpus.texts()))
+        texts = list(dict.fromkeys(citation_corpus.texts()))[:8]
+        result = engine.resolve(ResolveSpec(records=texts, strategy="pairwise"))
+        assert sorted(index for cluster in result.clusters for index in cluster) == list(
+            range(len(texts))
+        )
 
     def test_engine_resolve_transitive(self, citation_corpus):
         engine = DeclarativeEngine(SimulatedLLM(citation_corpus.oracle(), seed=95))

@@ -1,0 +1,13 @@
+"""Fixtures for the fluent query-frontend suite (helpers in support.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.oracle import Oracle
+from tests.query.support import product_corpus
+
+
+@pytest.fixture()
+def products() -> tuple[list[str], Oracle]:
+    return product_corpus()

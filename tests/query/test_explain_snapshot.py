@@ -1,0 +1,62 @@
+"""Golden snapshot of ``.explain()`` — the optimizer's user-facing contract.
+
+The pinned text asserts, in one place: deterministic step naming, the
+filter-pushdown reordering, lineage-inferred ``depends_on`` edges, per-step
+planner quotes, totals, the budget cap line, and the optimizer notes.  If an
+intentional change to any of those alters this output, re-pin it here.
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import CostPlanner
+from repro.query import Dataset
+from tests.query.support import MODEL, product_corpus
+
+OPTIMIZED_GOLDEN = """\
+Query plan: products (optimized)
+  s1_filter      16 calls  $0.002076  <- -
+              filter: is a short name
+  s2_resolve     28 calls  $0.003906  <- s1_filter
+              resolve duplicates to one representative per entity
+  s3_top_k       28 calls  $0.003906  <- s2_resolve, s1_filter
+              top 3 by 'important'
+Estimated total: 72 calls, $0.009888
+Budget cap: $0.050000
+Optimizer notes:
+  - pushed filter 'is a short name' ahead of resolve"""
+
+NAIVE_GOLDEN = """\
+Query plan: products (naive)
+  s1_resolve    120 calls  $0.016740  <- -
+              resolve duplicates to one representative per entity
+  s2_filter      16 calls  $0.002076  <- s1_resolve
+              filter: is a short name
+  s3_top_k       28 calls  $0.003906  <- s2_filter
+              top 3 by 'important'
+Estimated total: 164 calls, $0.022722
+Budget cap: $0.050000"""
+
+
+def _query() -> Dataset:
+    items, _ = product_corpus(n_entities=8, variants=2)
+    return (
+        Dataset(items, name="products")
+        .resolve()
+        .filter("is a short name", expected_selectivity=0.5)
+        .top_k("important", k=3, strategy="pairwise_tournament")
+        .with_budget(0.05)
+    )
+
+
+def test_optimized_explain_matches_golden():
+    assert _query().explain(planner=CostPlanner(MODEL)) == OPTIMIZED_GOLDEN
+
+
+def test_naive_explain_matches_golden():
+    assert _query().explain(optimized=False, planner=CostPlanner(MODEL)) == NAIVE_GOLDEN
+
+
+def test_quote_totals_match_the_rendered_totals():
+    quote = _query().quote(planner=CostPlanner(MODEL))
+    assert quote.total_calls == 72
+    assert f"${quote.total_dollars:.6f}" == "$0.009888"

@@ -1,0 +1,116 @@
+"""Property-based tests for the query optimizer (hypothesis).
+
+Two invariants from ISSUE 3:
+
+* **Result identity** — for randomly generated operator chains over an
+  entity-consistent oracle and a noise-free simulator, the optimized plan
+  produces exactly the items of the naive plan (and of the authored chain's
+  semantics computed directly from the ground truth, for the pure-filter
+  cases).
+* **Quote monotonicity** — filter pushdown never increases the pre-flight
+  ``PipelineQuote.total_dollars`` of a plan, whatever the chain shape.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import CostPlanner
+from repro.query import Dataset, compile_plan
+from repro.query.optimizer import fuse_adjacent_filters, push_filters_early
+from tests.query.support import MODEL, clean_engine, product_corpus
+
+PLANNER = CostPlanner(MODEL)
+
+#: Operator constructors safe for exact optimized/naive identity: per-item
+#: and per-pair unit prompts only (whole-list strategies are excluded from
+#: pushdown by the optimizer itself, so they would never reorder anyway).
+_OPS = {
+    "filter_short": lambda ds: ds.filter("is a short name"),
+    "filter_all": lambda ds: ds.filter("keeps everything"),
+    "sort": lambda ds: ds.sort("important", strategy="pairwise"),
+    "rating_sort": lambda ds: ds.sort("important", strategy="rating"),
+    "categorize": lambda ds: ds.categorize(["early", "late"]),
+    "top_k": lambda ds: ds.top_k("important", k=2, strategy="rating_only"),
+}
+
+_chains = st.lists(
+    st.sampled_from(sorted(_OPS)), min_size=1, max_size=4
+)
+
+
+def _build(chain: list[str], items: list[str]) -> Dataset:
+    dataset = Dataset(items, name="prop")
+    for op in chain:
+        dataset = _OPS[op](dataset)
+    return dataset
+
+
+class TestOptimizedNaiveIdentity:
+    @given(chain=_chains, n_entities=st.integers(3, 6), seed=st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_optimized_and_naive_plans_produce_identical_items(
+        self, chain, n_entities, seed
+    ):
+        items, oracle = product_corpus(n_entities=n_entities, variants=1)
+        query = _build(chain, items)
+        optimized = query.run(clean_engine(oracle, seed=seed))
+        naive = query.run(clean_engine(oracle, seed=seed), optimized=False)
+        assert optimized.items == naive.items
+
+    @given(
+        predicates=st.lists(
+            st.sampled_from(["is a short name", "keeps everything"]),
+            min_size=1,
+            max_size=3,
+        ),
+        n_entities=st.integers(3, 8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fused_filters_keep_exactly_the_ground_truth_survivors(
+        self, predicates, n_entities
+    ):
+        items, oracle = product_corpus(n_entities=n_entities, variants=2)
+        query = Dataset(items, name="prop")
+        for predicate in predicates:
+            query = query.filter(predicate)
+        result = query.run(clean_engine(oracle))
+        expected = [
+            item
+            for item in items
+            if all(oracle.satisfies(item, predicate) for predicate in predicates)
+        ]
+        assert result.items == expected
+
+
+class TestPushdownQuoteMonotonicity:
+    @given(
+        chain=_chains,
+        selectivity=st.floats(0.1, 1.0, allow_nan=False),
+        n_entities=st.integers(3, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_filter_pushdown_never_increases_total_dollars(
+        self, chain, selectivity, n_entities
+    ):
+        items, _ = product_corpus(n_entities=n_entities, variants=2)
+        query = _build(chain, items).filter(
+            "is a short name", expected_selectivity=selectivity
+        )
+        plan = query.logical_plan()
+        pushed = push_filters_early(plan, PLANNER)
+        before = compile_plan(plan, planner=PLANNER).quote
+        after = compile_plan(pushed, planner=PLANNER).quote
+        assert after.total_dollars <= before.total_dollars + 1e-12
+
+    @given(chain=_chains)
+    @settings(max_examples=20, deadline=None)
+    def test_fusion_never_increases_total_dollars(self, chain):
+        items, _ = product_corpus(n_entities=6, variants=2)
+        query = _build(chain, items).filter("is a short name").filter("keeps everything")
+        plan = query.logical_plan()
+        fused = fuse_adjacent_filters(plan, PLANNER)
+        before = compile_plan(plan, planner=PLANNER).quote
+        after = compile_plan(fused, planner=PLANNER).quote
+        assert after.total_dollars <= before.total_dollars + 1e-12
