@@ -12,6 +12,14 @@ the optimizer ran the cheap per-item filter ahead of the pairwise dedup
 and (on a feed this size) wired an LLM-free embedding-blocking proxy in
 front of the duplicate judgments, so the executed pipeline asks the LLM
 about ~k·n candidate pairs instead of all O(n²).
+
+After the run, the session's :class:`~repro.core.physical.RuntimeStats`
+hold what actually happened — the predicate's observed selectivity, the
+dedup survivor ratio, per-strategy call counts — and quoting the *same*
+query on the *same* engine a second time prices every step from those
+observations instead of the static priors (the ``.explain()`` lines grow
+``prior -> observed`` annotations).  That is the physical-planning
+feedback loop: quotes get sharper the more the session executes.
 """
 
 from __future__ import annotations
@@ -74,6 +82,37 @@ def main() -> None:
     print(f"executed: {result.total_calls} calls, ${result.total_cost:.6f}")
     for name, report in result.report.step_reports.items():
         print(f"  {name:<12} {report.status:<10} {report.calls:>4} calls  ${report.cost:.6f}")
+
+    # -- the adaptive second quote -------------------------------------------------
+    # The run fed observed statistics back into the session; quoting the
+    # same query again prices it from what actually happened.
+    adaptive = query.quote(planner=engine.planner())
+    print(
+        f"\nfirst quote (priors)      {optimized.total_calls:>4} calls / "
+        f"${optimized.total_dollars:.6f}\n"
+        f"second quote (observed)   {adaptive.total_calls:>4} calls / "
+        f"${adaptive.total_dollars:.6f}\n"
+        f"actually executed         {result.total_calls:>4} calls / "
+        f"${result.total_cost:.6f}"
+    )
+    stats = engine.stats.snapshot()
+    # Which dedup statistic exists depends on the executed plan: the proxy
+    # rewrite judges candidate pairs (match rate), an unrewritten resolve
+    # clusters the whole corpus (survivor ratio).
+    match_rate = stats["pair_match_rate"]
+    survivors = stats["dedup_survivor_ratio"]
+    dedup_note = (
+        f"pair match rate {match_rate:.2f}"
+        if match_rate is not None
+        else f"dedup survivors {survivors:.2f}" if survivors is not None else "no dedup ran"
+    )
+    print(
+        "\nobserved by the session: "
+        f"filter selectivity {stats['filter_selectivity']}, "
+        f"{dedup_note}, call counts {stats['call_count']}"
+    )
+    print("\nsecond explain (prior -> observed annotations):")
+    print(query.explain(planner=engine.planner()))
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ Quickstart (the fluent declarative API)::
 
 from repro.core.budget import Budget
 from repro.core.engine import DeclarativeEngine
+from repro.core.physical import PhysicalPlanner, RuntimeStats
 from repro.core.session import PromptSession
 from repro.core.spec import (
     CategorizeSpec,
@@ -78,6 +79,7 @@ __all__ = [
     "JoinSpec",
     "LogicalPlan",
     "Oracle",
+    "PhysicalPlanner",
     "PipelineSpec",
     "PipelineStep",
     "PromptSession",
@@ -85,6 +87,7 @@ __all__ = [
     "ReproError",
     "ResolveOperator",
     "ResolveSpec",
+    "RuntimeStats",
     "ResponseParseError",
     "SimulatedLLM",
     "SortOperator",

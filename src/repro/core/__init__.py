@@ -11,6 +11,13 @@ from repro.core.dag import topological_waves, transitive_dependencies
 from repro.core.engine import DeclarativeEngine
 from repro.core.executor import BatchExecutor, BatchRequest, TaskOutcome
 from repro.core.optimizer import StrategyCandidate, StrategyEvaluation, StrategySelector
+from repro.core.physical import (
+    PhysicalPlan,
+    PhysicalPlanner,
+    ResolvedStep,
+    ResolvedStrategy,
+    RuntimeStats,
+)
 from repro.core.planner import CostEstimate, CostPlanner, PipelineQuote
 from repro.core.session import BudgetScopedSession, PromptSession
 from repro.core.spec import (
@@ -48,12 +55,17 @@ __all__ = [
     "ImputeSpec",
     "JoinSpec",
     "LogicalPlan",
+    "PhysicalPlan",
+    "PhysicalPlanner",
     "PipelineQuote",
     "PipelineSpec",
     "PipelineStep",
     "PromptSession",
     "QueryResult",
     "ResolveSpec",
+    "ResolvedStep",
+    "ResolvedStrategy",
+    "RuntimeStats",
     "SortSpec",
     "StrategyCandidate",
     "StrategyEvaluation",

@@ -6,10 +6,19 @@ tracker) and turns declarative :mod:`~repro.core.spec` objects into operator
 runs.  The engine's ``max_concurrency`` argument is threaded through to every
 operator it constructs, so all independent unit tasks (pairwise comparisons,
 rating calls, per-record imputations, ...) run through a shared-size thread
-pool; at temperature 0 results are identical to sequential execution.  When a spec leaves the strategy as ``"auto"`` and provides a labelled
-validation sample, the engine uses the :class:`~repro.core.optimizer.
-StrategySelector` to pick a strategy before running the full task — the
-AutoML-style loop the paper sketches in Section 4.
+pool; at temperature 0 results are identical to sequential execution.
+
+Strategy selection is not the engine's job any more: every spec —
+whatever its operator — is resolved by the
+:class:`~repro.core.physical.PhysicalPlanner` before execution.  Explicit
+strategies pass through untouched; ``"auto"`` specs with a labelled
+validation sample go through the :class:`~repro.core.optimizer.
+StrategySelector` (the AutoML-style loop the paper sketches in Section 4);
+everything else is picked by estimated cost under the remaining budget.
+After each run the engine feeds what actually happened (observed filter
+selectivities, dedup rates, call counts) back into the session's
+:class:`~repro.core.physical.RuntimeStats`, so later quotes and plans are
+priced from observations instead of static priors.
 
 Multi-operator workflows go through :meth:`DeclarativeEngine.run_pipeline`:
 a :class:`~repro.core.spec.PipelineSpec` declares named steps (operator
@@ -22,10 +31,10 @@ pending steps.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from repro.core.budget import Budget, BudgetLease
-from repro.core.optimizer import StrategyCandidate, StrategySelector
+from repro.core.physical import PhysicalPlan, PhysicalPlanner, ResolvedStrategy
 from repro.core.planner import CostPlanner, PipelineQuote
 from repro.core.session import PromptSession
 from repro.core.spec import (
@@ -41,14 +50,9 @@ from repro.core.spec import (
     TopKSpec,
 )
 from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
-from repro.data.products import ImputationDataset
-from repro.data.record import Dataset
 from repro.exceptions import SpecError
 from repro.llm.base import LLMClient
 from repro.llm.registry import ModelRegistry
-from repro.metrics.classification import accuracy as exact_match_accuracy
-from repro.metrics.classification import f1_score
-from repro.metrics.ranking import kendall_tau_b
 from repro.operators.categorize import CategorizeOperator, CategorizeResult
 from repro.operators.cluster import ClusterOperator, ClusterResult
 from repro.operators.filter import FilterOperator, FilterResult
@@ -86,6 +90,8 @@ class DeclarativeEngine:
                 client, registry=registry, budget=budget, max_concurrency=max_concurrency
             )
         self.default_model = default_model
+        #: The physical-planning layer every spec's strategy resolves through.
+        self.physical = PhysicalPlanner(self.session, default_model=default_model)
 
     @classmethod
     def from_session(
@@ -101,17 +107,20 @@ class DeclarativeEngine:
     # -- helpers -----------------------------------------------------------------
 
     def _operator_kwargs(self, budget: Budget | BudgetLease | None = None) -> dict:
-        return {
-            "model": self.default_model,
-            "cost_model": self.session.cost_model,
-            "max_concurrency": self.session.max_concurrency,
-            # Hand the session budget to every operator's executor so a spend
-            # limit stops a large batch between unit tasks, not after the
-            # whole batch has been dispatched.  A pipeline step passes its
-            # per-step BudgetLease instead, capping the step at its
-            # apportioned share of the remaining dollars.
-            "budget": budget if budget is not None else self.session.budget,
-        }
+        return self.physical.operator_kwargs(budget)
+
+    def _resolve(
+        self, spec: TaskSpec, budget: Budget | BudgetLease | None
+    ) -> ResolvedStrategy:
+        """Resolve the spec's strategy under whichever budget binds the run."""
+        return self.physical.resolve(
+            spec, budget=budget if budget is not None else self.session.budget
+        )
+
+    @property
+    def stats(self):
+        """The session's observed-execution statistics store."""
+        return self.session.stats
 
     @property
     def spent_dollars(self) -> float:
@@ -123,57 +132,17 @@ class DeclarativeEngine:
     def sort(
         self, spec: SortSpec, *, budget: Budget | BudgetLease | None = None
     ) -> SortResult:
-        """Execute a sort spec, choosing a strategy automatically if asked."""
+        """Execute a sort spec, its strategy resolved by the physical planner."""
         spec.validate()
-        strategy = spec.strategy
-        options = dict(spec.strategy_options)
-        if strategy == "auto":
-            strategy, options = self._choose_sort_strategy(spec, budget=budget)
+        resolved = self._resolve(spec, budget)
         operator = SortOperator(
             self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
         )
-        return operator.run(list(spec.items), strategy=strategy, **options)
-
-    def _choose_sort_strategy(
-        self, spec: SortSpec, *, budget: Budget | BudgetLease | None = None
-    ) -> tuple[str, dict]:
-        if len(spec.validation_order) < 3:
-            # Without labels there is nothing to optimize against; default to
-            # the paper's most accurate general-purpose strategy.
-            return "pairwise", {}
-        validation_items = list(spec.validation_order)
-        candidates = [
-            StrategyCandidate(name="single_prompt", cost_scaling="constant"),
-            StrategyCandidate(name="rating", cost_scaling="linear"),
-            StrategyCandidate(name="pairwise", cost_scaling="quadratic"),
-        ]
-
-        def run_candidate(candidate: StrategyCandidate) -> SortResult:
-            operator = SortOperator(
-                self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
-            )
-            return operator.run(validation_items, strategy=candidate.name, **candidate.options)
-
-        def score(result: SortResult) -> float:
-            placed = set(result.order)
-            order = list(result.order) + [
-                item for item in validation_items if item not in placed
-            ]
-            tau = kendall_tau_b(order, validation_items)
-            return (tau + 1.0) / 2.0
-
-        selector = StrategySelector(
-            run_candidate=run_candidate,
-            score=score,
-            validation_size=len(validation_items),
-            full_size=len(spec.items),
+        result = operator.run(
+            list(spec.items), strategy=resolved.strategy, **resolved.options
         )
-        chosen = selector.select(
-            candidates,
-            budget_dollars=spec.budget_dollars,
-            accuracy_target=spec.accuracy_target,
-        )
-        return chosen.candidate.name, dict(chosen.candidate.options)
+        self.physical.record_run(spec, resolved, result)
+        return result
 
     # -- resolve ------------------------------------------------------------------
 
@@ -188,137 +157,47 @@ class DeclarativeEngine:
         :class:`ResolveResult` whose ``clusters`` hold record indices.
         """
         spec.validate()
-        if not spec.pairs:
-            return self._resolve_records(spec, budget=budget)
-        strategy = spec.strategy
-        options = dict(spec.strategy_options)
-        if strategy == "auto":
-            strategy, options = self._choose_resolve_strategy(spec, budget=budget)
+        resolved = self._resolve(spec, budget)
         operator = ResolveOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        return operator.judge_pairs(
+        if not spec.pairs:
+            result = operator.resolve(
+                list(spec.records), strategy=resolved.strategy, **resolved.options
+            )
+            self.physical.record_run(spec, resolved, result)
+            self.stats.record_dedup(
+                inputs=len(spec.records), survivors=len(result.clusters)
+            )
+            return result
+        options = dict(resolved.options)
+        result = operator.judge_pairs(
             list(spec.pairs),
-            strategy=strategy,
+            strategy=resolved.strategy,
             corpus=list(spec.records) or None,
             neighbors_k=options.pop("neighbors_k", spec.neighbors_k),
             **options,
         )
-
-    def _resolve_records(
-        self, spec: ResolveSpec, *, budget: Budget | BudgetLease | None = None
-    ) -> ResolveResult:
-        """Cluster the spec's records into duplicate groups."""
-        strategy = spec.strategy
-        if strategy == "auto":
-            # The paper's most accurate general-purpose strategy; the query
-            # optimizer downgrades to blocked_pairwise when the planner says
-            # a blocking proxy pays for itself.
-            strategy = "pairwise"
-        operator = ResolveOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        return operator.resolve(
-            list(spec.records), strategy=strategy, **dict(spec.strategy_options)
+        self.physical.record_run(spec, resolved, result)
+        self.stats.record_pair_match(
+            judged=len(result.judgments),
+            duplicates=sum(1 for judgment in result.judgments if judgment.is_duplicate),
         )
-
-    def _choose_resolve_strategy(
-        self, spec: ResolveSpec, *, budget: Budget | BudgetLease | None = None
-    ) -> tuple[str, dict]:
-        labels = dict(spec.validation_labels)
-        if len(labels) < 5:
-            return "transitive", {"neighbors_k": spec.neighbors_k}
-        validation_pairs = list(labels)
-        candidates = [
-            StrategyCandidate(name="pairwise", cost_scaling="linear"),
-            StrategyCandidate(
-                name="transitive", options={"neighbors_k": spec.neighbors_k}, cost_scaling="linear"
-            ),
-            StrategyCandidate(name="proxy_hybrid", cost_scaling="linear"),
-        ]
-
-        def run_candidate(candidate: StrategyCandidate) -> PairJudgmentResult:
-            operator = ResolveOperator(self.session.client(budget), **self._operator_kwargs(budget))
-            return operator.judge_pairs(
-                validation_pairs,
-                strategy=candidate.name,
-                corpus=list(spec.records) or None,
-                **candidate.options,
-            )
-
-        def score(result: PairJudgmentResult) -> float:
-            predictions = [judgment.is_duplicate for judgment in result.judgments]
-            truth = [labels[pair] for pair in validation_pairs]
-            return f1_score(predictions, truth)
-
-        selector = StrategySelector(
-            run_candidate=run_candidate,
-            score=score,
-            validation_size=len(validation_pairs),
-            full_size=len(spec.pairs),
-        )
-        chosen = selector.select(
-            candidates,
-            budget_dollars=spec.budget_dollars,
-            accuracy_target=spec.accuracy_target,
-        )
-        return chosen.candidate.name, dict(chosen.candidate.options)
+        return result
 
     # -- impute -------------------------------------------------------------------
 
     def impute(
         self, spec: ImputeSpec, *, budget: Budget | BudgetLease | None = None
     ) -> ImputeResult:
-        """Execute an impute spec, choosing a strategy automatically if asked."""
+        """Execute an impute spec, its strategy resolved by the physical planner."""
         spec.validate()
         assert spec.data is not None  # validate() guarantees this
-        strategy = spec.strategy
-        options: dict = {"n_examples": spec.n_examples}
-        if strategy == "auto":
-            strategy = self._choose_impute_strategy(spec, budget=budget)
+        resolved = self._resolve(spec, budget)
         operator = ImputeOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        return operator.run(spec.data, strategy=strategy, **options)
-
-    def _choose_impute_strategy(
-        self, spec: ImputeSpec, *, budget: Budget | BudgetLease | None = None
-    ) -> str:
-        data = spec.data
-        assert data is not None
-        validation_size = min(spec.validation_size, len(data.queries))
-        if validation_size < 5:
-            return "hybrid"
-        validation_records = data.queries.records[:validation_size]
-        validation_data = ImputationDataset(
-            name=f"{data.name}-validation",
-            target_attribute=data.target_attribute,
-            queries=Dataset(validation_records, name=f"{data.name}-validation-queries"),
-            reference=data.reference,
-            ground_truth={
-                record.record_id: data.ground_truth[record.record_id]
-                for record in validation_records
-            },
+        result = operator.run(
+            spec.data, strategy=resolved.strategy, n_examples=spec.n_examples
         )
-        candidates = [
-            StrategyCandidate(name="knn", cost_scaling="linear"),
-            StrategyCandidate(name="hybrid", cost_scaling="linear"),
-            StrategyCandidate(name="llm_only", cost_scaling="linear"),
-        ]
-
-        def run_candidate(candidate: StrategyCandidate) -> ImputeResult:
-            operator = ImputeOperator(self.session.client(budget), **self._operator_kwargs(budget))
-            return operator.run(validation_data, strategy=candidate.name, n_examples=spec.n_examples)
-
-        def score(result: ImputeResult) -> float:
-            return exact_match_accuracy(result.predictions, validation_data.ground_truth)
-
-        selector = StrategySelector(
-            run_candidate=run_candidate,
-            score=score,
-            validation_size=validation_size,
-            full_size=len(data.queries),
-        )
-        chosen = selector.select(
-            candidates,
-            budget_dollars=spec.budget_dollars,
-            accuracy_target=spec.accuracy_target,
-        )
-        return chosen.candidate.name
+        self.physical.record_run(spec, resolved, result)
+        return result
 
     # -- filter -------------------------------------------------------------------
 
@@ -329,11 +208,13 @@ class DeclarativeEngine:
 
         A multi-predicate (fused) spec checks each predicate over the
         survivors of the previous one, so later predicates never spend calls
-        on items an earlier predicate already rejected.
+        on items an earlier predicate already rejected.  Each predicate's
+        observed selectivity is recorded into the session's runtime stats.
         """
         spec.validate()
-        strategy = spec.strategy if spec.strategy != "auto" else "per_item"
-        options = dict(spec.strategy_options)
+        resolved = self._resolve(spec, budget)
+        strategy = resolved.strategy
+        options = resolved.options
         survivors = [str(item) for item in spec.items]
         usage = Usage()
         cost = 0.0
@@ -349,6 +230,9 @@ class DeclarativeEngine:
             result = operator.run(survivors, strategy=strategy, **options)
             for item in survivors:
                 decisions[item] = result.decisions.get(item, False)
+            self.stats.record_filter(
+                predicate, evaluated=len(survivors), kept=len(result.kept)
+            )
             survivors = list(result.kept)
             usage.add(result.usage)
             cost += result.cost
@@ -370,11 +254,15 @@ class DeclarativeEngine:
     ) -> CategorizeResult:
         """Execute a categorize spec."""
         spec.validate()
-        strategy = spec.strategy if spec.strategy != "auto" else "per_item"
+        resolved = self._resolve(spec, budget)
         operator = CategorizeOperator(
             self.session.client(budget), list(spec.categories), **self._operator_kwargs(budget)
         )
-        return operator.run(list(spec.items), strategy=strategy, **dict(spec.strategy_options))
+        result = operator.run(
+            list(spec.items), strategy=resolved.strategy, **resolved.options
+        )
+        self.physical.record_run(spec, resolved, result)
+        return result
 
     # -- top-k --------------------------------------------------------------------
 
@@ -383,15 +271,15 @@ class DeclarativeEngine:
     ) -> TopKResult:
         """Execute a top-k spec."""
         spec.validate()
-        strategy = (
-            spec.strategy if spec.strategy != "auto" else "hybrid_rating_comparison"
-        )
+        resolved = self._resolve(spec, budget)
         operator = TopKOperator(
             self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
         )
-        return operator.run(
-            list(spec.items), k=spec.k, strategy=strategy, **dict(spec.strategy_options)
+        result = operator.run(
+            list(spec.items), k=spec.k, strategy=resolved.strategy, **resolved.options
         )
+        self.physical.record_run(spec, resolved, result)
+        return result
 
     # -- join ---------------------------------------------------------------------
 
@@ -400,11 +288,17 @@ class DeclarativeEngine:
     ) -> JoinResult:
         """Execute a join spec."""
         spec.validate()
-        strategy = spec.strategy if spec.strategy != "auto" else "blocked"
+        resolved = self._resolve(spec, budget)
         operator = JoinOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        return operator.run(
-            list(spec.left), list(spec.right), strategy=strategy, **dict(spec.strategy_options)
+        result = operator.run(
+            list(spec.left), list(spec.right), strategy=resolved.strategy, **resolved.options
         )
+        self.physical.record_run(spec, resolved, result)
+        self.stats.record_join(
+            left=len(spec.left),
+            matched=len({left_index for left_index, _ in result.matches}),
+        )
+        return result
 
     # -- cluster ------------------------------------------------------------------
 
@@ -413,9 +307,13 @@ class DeclarativeEngine:
     ) -> ClusterResult:
         """Execute a cluster spec."""
         spec.validate()
-        strategy = spec.strategy if spec.strategy != "auto" else "two_phase"
+        resolved = self._resolve(spec, budget)
         operator = ClusterOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        return operator.run(list(spec.items), strategy=strategy, **dict(spec.strategy_options))
+        result = operator.run(
+            list(spec.items), strategy=resolved.strategy, **resolved.options
+        )
+        self.physical.record_run(spec, resolved, result)
+        return result
 
     # -- pipelines ----------------------------------------------------------------
 
@@ -442,11 +340,17 @@ class DeclarativeEngine:
         raise SpecError(f"cannot execute spec type {type(spec).__name__}")
 
     def planner(self, model: str | None = None) -> CostPlanner:
-        """A cost planner for ``model`` (defaults to the engine's model)."""
-        return CostPlanner(
-            model or self.default_model or self.session.config.chat_model,
-            registry=self.session.registry,
-        )
+        """A cost planner for ``model`` (defaults to the engine's model).
+
+        The planner is fed by the session's :class:`~repro.core.physical.
+        RuntimeStats`, so quotes computed after this engine has executed
+        work are priced from observed selectivities and call ratios.
+        """
+        return self.physical.cost_planner(model)
+
+    def plan_physical(self, pipeline: PipelineSpec) -> PhysicalPlan:
+        """Resolve every static step's strategy up front (see PhysicalPlanner)."""
+        return self.physical.plan_pipeline(pipeline)
 
     def quote_pipeline(self, pipeline: PipelineSpec) -> PipelineQuote:
         """Pre-flight quote for a pipeline: per-step estimates plus totals."""

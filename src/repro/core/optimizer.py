@@ -5,7 +5,10 @@ burden of evaluating all strategies and recommend a strategy to apply to the
 entire dataset, given a user-defined budget."  The :class:`StrategySelector`
 does exactly that: it runs every candidate strategy on a small labelled
 validation sample, measures accuracy and cost, extrapolates the cost to the
-full dataset size, and picks the best strategy under the constraints.
+full dataset size, and picks the best strategy under the constraints.  It is
+invoked by the :class:`~repro.core.physical.PhysicalPlanner` whenever an
+``"auto"`` spec carries a labelled sample; specs without one are resolved
+from :class:`~repro.core.planner.CostPlanner` estimates instead.
 
 Selection rule:
 

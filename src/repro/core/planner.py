@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.spec import (
     CategorizeSpec,
@@ -39,6 +39,26 @@ from repro.exceptions import ConfigurationError, SpecError
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.tokenizer.cost import Usage
 from repro.tokenizer.simple import SimpleTokenizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (physical imports planner)
+    from repro.core.physical import RuntimeStats
+
+#: The strategy each operator's unconstrained ``"auto"`` resolves to (the
+#: physical planner's first preference).  Estimates of ``"auto"`` specs are
+#: priced at these shapes, and observed call ratios — recorded under the
+#: strategy that actually executed — are looked up through this mapping so
+#: an auto quote finds the default strategy's ratio.  A pairs-mode resolve
+#: defaults to "transitive" instead (handled where the mode is known).
+AUTO_DEFAULT_STRATEGY: Mapping[str, str] = {
+    "sort": "pairwise",
+    "resolve": "pairwise",
+    "impute": "hybrid",
+    "filter": "per_item",
+    "categorize": "per_item",
+    "top_k": "hybrid_rating_comparison",
+    "join": "blocked",
+    "cluster": "two_phase",
+}
 
 #: Rough token overhead of the structured prompt scaffolding per call
 #: (task header, instructions, numbering).
@@ -104,12 +124,25 @@ class CostPlanner:
     Args:
         model: model the work would run on (prices and context come from it).
         registry: model catalogue; defaults to the standard registry.
+        stats: optional :class:`~repro.core.physical.RuntimeStats` store of
+            observed execution statistics.  When given, estimates prefer
+            observed values over static priors: filter predicates are
+            priced at their observed selectivity, and strategies with a
+            recorded actual/estimated call ratio are scaled by it.  Without
+            stats the planner quotes exactly from the priors.
     """
 
-    def __init__(self, model: str, *, registry: ModelRegistry | None = None) -> None:
+    def __init__(
+        self,
+        model: str,
+        *,
+        registry: ModelRegistry | None = None,
+        stats: "RuntimeStats | None" = None,
+    ) -> None:
         self.registry = registry or default_registry()
         self.spec = self.registry.get(model)
         self.tokenizer = SimpleTokenizer()
+        self.stats = stats
 
     # -- helpers --------------------------------------------------------------------
 
@@ -201,6 +234,12 @@ class CostPlanner:
         ``"<operation>:<strategy>"`` so per-step quotes read naturally.
         ``"auto"`` strategies are priced at the engine's no-validation
         default for that operator.
+
+        With a :class:`~repro.core.physical.RuntimeStats` store attached,
+        the structural estimate is corrected by the observed
+        actual/estimated call ratio recorded for the same strategy label —
+        except for filters, whose error is explained by predicate
+        selectivity and already priced from the observed selectivities.
         """
         if isinstance(spec, SortSpec):
             estimate = self._estimate_sort(spec)
@@ -222,7 +261,54 @@ class CostPlanner:
             raise SpecError(
                 f"cannot estimate cost for spec type {type(spec).__name__}"
             )
+        if not isinstance(spec, FilterSpec):
+            estimate = self._apply_call_ratio(estimate)
         return estimate
+
+    #: Observed call ratios outside this band are treated as
+    #: workload-specific flukes rather than transferable corrections.
+    _CALL_RATIO_BAND = (0.05, 20.0)
+
+    def _apply_call_ratio(self, estimate: CostEstimate) -> CostEstimate:
+        """Scale a structural estimate by the observed call ratio, if any.
+
+        Ratios are recorded under the strategy that *executed* (never
+        ``"auto"``), so an auto-labelled estimate looks its ratio up under
+        the default strategy it was priced at.  The ratio is clamped to a
+        sane band and a non-empty structural estimate never drops below
+        one call: ratios were measured on whatever workload the session
+        happened to run, and an estimate rounded to zero would starve the
+        step of its quote-weighted budget share entirely.
+        """
+        if self.stats is None:
+            return estimate
+        key = estimate.strategy
+        operation, _, strategy = key.partition(":")
+        if strategy == "auto":
+            key = f"{operation}:{AUTO_DEFAULT_STRATEGY.get(operation, strategy)}"
+        ratio = self.stats.call_ratio(key)
+        if ratio is None or ratio <= 0 or abs(ratio - 1.0) < 1e-9:
+            return estimate
+        low, high = self._CALL_RATIO_BAND
+        ratio = min(high, max(low, ratio))
+        floor = 1 if estimate.calls > 0 else 0
+        adjusted = self._estimate(
+            estimate.strategy,
+            calls=max(floor, int(round(estimate.calls * ratio))),
+            prompt_tokens=estimate.usage.prompt_tokens * ratio,
+            completion_tokens=estimate.usage.completion_tokens * ratio,
+        )
+        return adjusted
+
+    def _observed_selectivity(self, predicate: str, prior: float) -> float:
+        """A predicate's observed surviving fraction, or its static prior."""
+        if self.stats is not None:
+            observed = self.stats.filter_selectivity(predicate)
+            if observed is not None:
+                # An observed 0 would collapse every downstream estimate to
+                # nothing; clamp to one surviving item's worth.
+                return max(observed, 1e-6)
+        return prior
 
     def _estimate_sort(self, spec: SortSpec) -> CostEstimate:
         items = list(spec.items)
@@ -258,8 +344,12 @@ class CostPlanner:
         if spec.pairs:
             if strategy in ("transitive", "auto"):
                 # The engine's no-validation default is the transitive
-                # strategy with the spec's neighbors_k.
+                # strategy with the spec's neighbors_k; label the estimate
+                # accordingly so the two "auto" resolve modes (pair
+                # judgments here, whole-corpus dedup below) never share a
+                # call-ratio key — their cost shapes are unrelated.
                 expansion = math.comb(2 * spec.neighbors_k + 2, 2)
+                strategy = "transitive"
             else:
                 expansion = 1
             estimate = self.pair_judgments(list(spec.pairs), expansion=expansion)
@@ -271,6 +361,9 @@ class CostPlanner:
                 block_k = int(spec.strategy_options.get("block_k", 5))
                 estimate = self.pairwise_against(records, block_k)
             else:
+                # "pairwise" and "auto" (the engine's records-path default).
+                if strategy == "auto":
+                    strategy = "pairwise"
                 estimate = self.pairwise(records)
         return replace(estimate, strategy=f"resolve:{strategy}")
 
@@ -301,18 +394,18 @@ class CostPlanner:
         # before it (the engine runs them over a shrinking set), so a fused
         # multi-predicate spec quotes exactly like sequential filter steps.
         selectivities = list(spec.expected_selectivities)
+        predicates = list(spec.all_predicates)
         calls = 0
         prompt_tokens = 0.0
         completion_tokens = 0.0
         survivors = items
-        for index in range(len(spec.all_predicates)):
+        for index in range(len(predicates)):
             per_predicate = self.per_item(survivors)
             calls += per_predicate.calls * multiplier
             prompt_tokens += per_predicate.usage.prompt_tokens * multiplier
             completion_tokens += per_predicate.usage.completion_tokens * multiplier
-            selectivity = (
-                selectivities[index] if index < len(selectivities) else 0.5
-            )
+            prior = selectivities[index] if index < len(selectivities) else 0.5
+            selectivity = self._observed_selectivity(predicates[index], prior)
             kept = min(len(survivors), max(1, math.ceil(len(survivors) * selectivity)))
             survivors = survivors[:kept]
         estimate = self._estimate(strategy, calls, prompt_tokens, completion_tokens)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.config import DEFAULT_CONFIG, ReproConfig
 from repro.core.budget import Budget, BudgetLease
 from repro.core.executor import BatchExecutor
+from repro.core.physical import RuntimeStats
 from repro.exceptions import BudgetExceededError
 from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
 from repro.llm.cache import CachedClient, ResponseCache
@@ -104,6 +105,11 @@ class PromptSession:
         self.cost_model: CostModel = self.registry.cost_model()
         self.tracker = UsageTracker(cost_model=self.cost_model)
         self.cache = ResponseCache()
+        # Observed execution statistics (filter selectivities, dedup ratios,
+        # per-strategy call counts).  The engine records into this after
+        # every operator run; planners built from this session consume it so
+        # later quotes are priced from what actually happened.
+        self.stats = RuntimeStats()
         self._client: LLMClient = CachedClient(client, self.cache) if use_cache else client
         self._raw_client = client
 

@@ -34,8 +34,10 @@ class TaskSpec:
     Attributes:
         budget_dollars: optional monetary budget for the task.
         accuracy_target: optional minimum acceptable accuracy in [0, 1].
-        strategy: explicit strategy name, or ``"auto"`` to let the optimizer
-            choose from the operator's registered strategies.
+        strategy: explicit strategy name, or ``"auto"`` to let the
+            :class:`~repro.core.physical.PhysicalPlanner` choose — by
+            measured accuracy when the spec carries a labelled validation
+            sample, by estimated cost under the remaining budget otherwise.
         strategy_options: keyword arguments forwarded to the chosen strategy.
     """
 

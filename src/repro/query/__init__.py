@@ -10,10 +10,14 @@ from repro.query.compile import CompiledQuery, CompiledStep, compile_plan
 from repro.query.dataset import Dataset, QueryResult, render_explain
 from repro.query.optimizer import (
     DEFAULT_RULES,
+    fixpoint,
     fuse_adjacent_filters,
     insert_proxy_prefilters,
     optimize,
+    order_semi_joins,
     push_filters_early,
+    push_filters_into_joins,
+    share_common_subplans,
 )
 from repro.query.plan import LogicalNode, LogicalPlan, estimated_items, source
 
@@ -27,10 +31,14 @@ __all__ = [
     "QueryResult",
     "compile_plan",
     "estimated_items",
+    "fixpoint",
     "fuse_adjacent_filters",
     "insert_proxy_prefilters",
     "optimize",
+    "order_semi_joins",
     "push_filters_early",
+    "push_filters_into_joins",
     "render_explain",
+    "share_common_subplans",
     "source",
 ]

@@ -29,7 +29,12 @@ from dataclasses import dataclass, replace as dataclass_replace
 from typing import Any, Callable, Mapping
 
 from repro.consistency.transitivity import MatchGraph
-from repro.core.planner import CostEstimate, CostPlanner, PipelineQuote
+from repro.core.planner import (
+    AUTO_DEFAULT_STRATEGY,
+    CostEstimate,
+    CostPlanner,
+    PipelineQuote,
+)
 from repro.core.spec import (
     CategorizeSpec,
     ClusterSpec,
@@ -248,6 +253,8 @@ def compile_plan(
 
         depends_on = depends_for(node)
         if static:
+            # Static feeds are source-only, so the estimate *is* the literal
+            # item list (no stats needed to materialize it).
             task: TaskSpec | Callable[..., TaskSpec] = build_spec(
                 node, *[list(estimated_items(up)) for up in feeds]
             )
@@ -264,9 +271,13 @@ def compile_plan(
                 )
 
             task = factory
+        description = _describe(node)
+        annotation = _stats_annotation(node, planner)
+        if annotation:
+            description = f"{description} [{annotation}]"
         pipeline_steps.append(
             PipelineStep(
-                name=name, task=task, depends_on=depends_on, description=_describe(node)
+                name=name, task=task, depends_on=depends_on, description=description
             )
         )
 
@@ -277,7 +288,7 @@ def compile_plan(
                 op=node.op,
                 depends_on=depends_on,
                 estimate=estimate,
-                description=_describe(node),
+                description=description,
             )
         )
         if estimate is not None:
@@ -393,21 +404,71 @@ def _estimate_step(
     build_spec: Callable[..., TaskSpec],
     planner: CostPlanner | None,
 ) -> CostEstimate | None:
-    """Quote one step over statically estimated input items."""
+    """Quote one step over statically estimated input items.
+
+    The upstream estimates consult the planner's runtime stats when it has
+    them, so a second quote of an executed workload sizes every downstream
+    step from observed selectivities instead of priors.
+    """
     if planner is None:
         return None
+    stats = getattr(planner, "stats", None)
     try:
-        spec = build_spec(node, *[estimated_items(upstream) for upstream in feeds])
+        spec = build_spec(node, *[estimated_items(upstream, stats) for upstream in feeds])
         return planner.estimate_spec(spec)
     except SpecError:
         return None
+
+
+def _stats_annotation(node: LogicalNode, planner: CostPlanner | None) -> str:
+    """A "prior -> observed" note for ``.explain()`` when stats exist."""
+    stats = getattr(planner, "stats", None)
+    if stats is None:
+        return ""
+    parts: list[str] = []
+    if node.op == "filter":
+        priors = list(node.params.get("selectivities", ()))
+        for index, predicate in enumerate(node.params.get("predicates", ())):
+            observed = stats.filter_selectivity(predicate)
+            if observed is None:
+                continue
+            prior = float(priors[index]) if index < len(priors) else 0.5
+            parts.append(f"selectivity prior {prior:.2f} -> observed {observed:.2f}")
+    elif node.op == "resolve":
+        ratio = stats.dedup_survivor_ratio()
+        if ratio is not None:
+            parts.append(f"dedup survivors observed {ratio:.2f}")
+    elif node.op == "join":
+        observed = stats.join_selectivity()
+        if observed is not None:
+            declared = node.params.get("selectivity")
+            if declared is not None:
+                # An authored per-join prior outranks the session-global
+                # observed match rate; surface both so the choice is visible.
+                parts.append(
+                    f"join selectivity declared {float(declared):.2f} "
+                    f"(observed {observed:.2f})"
+                )
+            else:
+                parts.append(f"join selectivity observed {observed:.2f}")
+    strategy = node.params.get("strategy", "auto")
+    if strategy == "auto":
+        # Ratios are keyed by the strategy that executed; an auto node's
+        # ratio lives under its default — the same mapping the planner
+        # applies when it scales the quote, so every scaled step is
+        # annotated.  (Query resolve nodes are records-mode: "pairwise".)
+        strategy = AUTO_DEFAULT_STRATEGY.get(node.op, strategy)
+    call_ratio = stats.call_ratio(f"{node.op}:{strategy}")
+    if call_ratio is not None and node.op != "filter":
+        parts.append(f"call ratio observed {call_ratio:.2f}")
+    return "; ".join(parts)
 
 
 def _proxy_estimate(node: LogicalNode, planner: CostPlanner | None) -> CostEstimate | None:
     """Quote a proxy-blocked resolve: pair judgments over ~k·n candidates."""
     if planner is None:
         return None
-    items = estimated_items(node.inputs[0])
+    items = estimated_items(node.inputs[0], getattr(planner, "stats", None))
     if len(items) < 2:
         return None
     block_k = int(node.params.get("block_k", 5))

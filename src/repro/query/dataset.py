@@ -305,6 +305,7 @@ class Dataset:
         self,
         other: "Dataset",
         *,
+        expected_selectivity: float | None = None,
         strategy: str = "auto",
         budget_dollars: float | None = None,
         accuracy_target: float | None = None,
@@ -313,14 +314,22 @@ class Dataset:
         """Semi-join: keep items with at least one fuzzy match in ``other``.
 
         The match table is available as ``result.step_result("join")``.
+        ``expected_selectivity`` is the planner's prior for the fraction of
+        items that find a match; like a filter's selectivity it shapes
+        downstream cost quotes — and the semi-join ordering rule — never
+        the actual result.  An explicitly declared prior always wins (the
+        author knows *this* join — declaring 1.0 pins it there); left
+        undeclared, the session's observed join match rate fills in once a
+        join has executed, and a conservative 1.0 otherwise.
         """
         if not isinstance(other, Dataset):
             raise SpecError("join needs another Dataset")
-        return self._extend(
-            "join",
-            self._common(strategy, options, budget_dollars, accuracy_target),
-            other._node,
-        )
+        params = self._common(strategy, options, budget_dollars, accuracy_target)
+        if expected_selectivity is not None:
+            if not 0.0 < expected_selectivity <= 1.0:
+                raise SpecError("expected_selectivity must be in (0, 1]")
+            params["selectivity"] = expected_selectivity
+        return self._extend("join", params, other._node)
 
     def with_budget(self, dollars: float) -> "Dataset":
         """Cap the whole query's spend (enforced as a pipeline-level lease)."""

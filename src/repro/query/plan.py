@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.exceptions import SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.physical import RuntimeStats
 
 #: Ops whose output items are exactly their input items.
 ANNOTATORS = frozenset({"categorize", "cluster", "impute"})
@@ -139,32 +142,72 @@ def source(items: Any, name: str = "dataset") -> LogicalNode:
     return LogicalNode(op="source", params={"items": item_tuple, "name": name})
 
 
-def estimated_items(node: LogicalNode) -> list[str]:
+def estimated_items(
+    node: LogicalNode, stats: "RuntimeStats | None" = None
+) -> list[str]:
     """Statically estimated output items of ``node`` (for quotes/explain).
 
     Cardinality-reducing ops shrink the estimate (filters by their declared
-    ``expected_selectivity``, top-k to ``k``); dedup and joins are priced
-    conservatively at their input cardinality.  The surviving items are taken
+    ``expected_selectivity``, top-k to ``k``, joins by their declared
+    ``selectivity`` prior — conservatively 1.0 when unset); dedup is priced
+    conservatively at its input cardinality.  The surviving items are taken
     from the head of the input estimate so token-length averages stay
     representative.
+
+    With a :class:`~repro.core.physical.RuntimeStats` store, *observed*
+    statistics override the priors: a predicate's measured surviving
+    fraction, the measured dedup survivor ratio, and the measured join
+    selectivity — so the second quote of a workload sizes every downstream
+    step from what actually happened.
     """
     if node.op == "source":
         return list(node.params["items"])
     parent = node.item_parent
     assert parent is not None  # every non-source node has an item parent
-    upstream = estimated_items(parent)
+    upstream = estimated_items(parent, stats)
+    count = len(upstream)
     if node.op == "filter":
-        # Apply the per-predicate selectivity priors the same way the
-        # planner does, so plan-level and spec-level estimates agree.
-        count = len(upstream)
-        for selectivity in node.params.get("selectivities", (0.5,)):
-            count = min(count, max(1, math.ceil(count * float(selectivity))))
+        # Apply the per-predicate selectivities the same way the planner
+        # does, so plan-level and spec-level estimates agree.
+        predicates = list(node.params.get("predicates", ()))
+        priors = list(node.params.get("selectivities", (0.5,)))
+        for index in range(max(len(predicates), len(priors))):
+            prior = float(priors[index]) if index < len(priors) else 0.5
+            observed = (
+                stats.filter_selectivity(predicates[index])
+                if stats is not None and index < len(predicates)
+                else None
+            )
+            selectivity = observed if observed is not None else prior
+            count = min(count, max(1, math.ceil(count * selectivity)))
         return upstream[:count]
     if node.op == "top_k":
-        return upstream[: max(1, min(len(upstream), int(node.params.get("k", 1))))]
-    # sort reorders, resolve dedups, join semi-joins, annotators pass through;
-    # all are estimated at input cardinality (conservative for the reducers).
+        return upstream[: max(1, min(count, int(node.params.get("k", 1))))]
+    if node.op == "resolve" and stats is not None:
+        ratio = stats.dedup_survivor_ratio()
+        if ratio is not None:
+            return upstream[: min(count, max(1, math.ceil(count * ratio)))]
+        return upstream
+    if node.op == "join":
+        selectivity = join_selectivity(node, stats)
+        return upstream[: min(count, max(1, math.ceil(count * selectivity)))]
+    # sort reorders, annotators pass through; estimated at input cardinality.
     return upstream
+
+
+def join_selectivity(node: LogicalNode, stats: "RuntimeStats | None" = None) -> float:
+    """The match-fraction estimate for a join node.
+
+    Precedence: an explicitly declared per-join prior wins (the author
+    knows this join); otherwise the session's observed match rate — a
+    global, per-join-unkeyed statistic, so it only fills the gap where
+    nothing was declared; otherwise a conservative 1.0.
+    """
+    declared = node.params.get("selectivity")
+    if declared is not None:
+        return float(declared)
+    observed = stats.join_selectivity() if stats is not None else None
+    return observed if observed is not None else 1.0
 
 
 def validate_plan(plan: LogicalPlan) -> None:

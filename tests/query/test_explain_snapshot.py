@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core.planner import CostPlanner
 from repro.query import Dataset
-from tests.query.support import MODEL, product_corpus
+from tests.query.support import MODEL, clean_engine, product_corpus
 
 OPTIMIZED_GOLDEN = """\
 Query plan: products (optimized)
@@ -60,3 +60,61 @@ def test_quote_totals_match_the_rendered_totals():
     quote = _query().quote(planner=CostPlanner(MODEL))
     assert quote.total_calls == 72
     assert f"${quote.total_dollars:.6f}" == "$0.009888"
+
+
+# -- ISSUE 4: shared-prefix and observed-stats annotations -----------------------------
+
+SHARED_PREFIX_GOLDEN = """\
+Query plan: products (optimized)
+  s1_filter      6 calls  $0.000756  <- -
+             filter: is a short name
+  s2_join        9 calls  $0.001188  <- s1_filter
+             semi-join against a second dataset
+Estimated total: 15 calls, $0.001944
+Optimizer notes:
+  - shared common filter subplan across branches (compiled once, dependents fan out)"""
+
+ADAPTIVE_GOLDEN = """\
+Query plan: products (optimized)
+  s1_filter      16 calls  $0.002076  <- -
+              filter: is a short name [selectivity prior 0.50 -> observed 0.50]
+  s2_resolve     28 calls  $0.003906  <- s1_filter
+              resolve duplicates to one representative per entity [dedup survivors observed 0.50; call ratio observed 1.00]
+  s3_top_k        6 calls  $0.000837  <- s2_resolve, s1_filter
+              top 3 by 'important' [call ratio observed 1.00]
+Estimated total: 50 calls, $0.006819
+Budget cap: $0.050000
+Optimizer notes:
+  - pushed filter 'is a short name' ahead of resolve"""
+
+
+def _branched_query() -> Dataset:
+    """A join whose two branches rebuild the same filter prefix from scratch."""
+    items, _ = product_corpus(n_entities=6, variants=1)
+
+    def prefix() -> Dataset:
+        return Dataset(items, name="products").filter("is a short name")
+
+    return prefix().join(prefix(), strategy="all_pairs")
+
+
+def test_shared_prefix_explain_matches_golden():
+    """The duplicated prefix compiles once; both consumers fan out from it."""
+    assert _branched_query().explain(planner=CostPlanner(MODEL)) == SHARED_PREFIX_GOLDEN
+
+
+def test_adaptive_explain_matches_golden():
+    """After one run, the same session's quotes show prior -> observed stats."""
+    items, oracle = product_corpus(n_entities=8, variants=2)
+    query = (
+        Dataset(items, name="products")
+        .resolve()
+        .filter("is a short name", expected_selectivity=0.5)
+        .top_k("important", k=3, strategy="pairwise_tournament")
+        .with_budget(0.05)
+    )
+    engine = clean_engine(oracle)
+    first = query.explain(planner=engine.planner())
+    assert first == OPTIMIZED_GOLDEN  # a fresh session quotes from the priors
+    query.run(engine)
+    assert query.explain(planner=engine.planner()) == ADAPTIVE_GOLDEN

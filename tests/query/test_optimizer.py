@@ -6,11 +6,15 @@ import pytest
 
 from repro.core.planner import CostPlanner
 from repro.core.spec import FilterSpec, ResolveSpec, TopKSpec
-from repro.query import Dataset, optimize
+from repro.core.physical import RuntimeStats
+from repro.query import Dataset, compile_plan, optimize
 from repro.query.optimizer import (
     fuse_adjacent_filters,
     insert_proxy_prefilters,
+    order_semi_joins,
     push_filters_early,
+    push_filters_into_joins,
+    share_common_subplans,
 )
 from tests.query.support import MODEL, clean_engine, product_corpus
 
@@ -272,3 +276,164 @@ class TestRuleSafety:
         optimized = optimize(joined.logical_plan(), planner=PLANNER)
         # resolve feeds both branches, so the filter must stay after it.
         assert ops_of(optimized) == ops_of(joined.logical_plan())
+
+
+class TestJoinPushdown:
+    def test_filter_commutes_into_the_join_left_input(self, products):
+        items, _ = products
+        left, right = items[:6], items[6:10]
+        plan = (
+            Dataset(left, name="l")
+            .join(Dataset(right, name="r"))
+            .filter("is a short name")
+            .logical_plan()
+        )
+        assert ops_of(plan) == ["source", "source", "join", "filter"]
+        optimized = optimize(plan, planner=PLANNER, rules=(push_filters_into_joins,))
+        assert ops_of(optimized) == ["source", "filter", "source", "join"]
+        # The filter now reads the join's left source, not the join.
+        join_node = optimized.root
+        assert join_node.op == "join"
+        assert join_node.inputs[0].op == "filter"
+        assert join_node.inputs[1].op == "source"
+        assert optimized.notes
+
+    def test_filter_keeps_travelling_up_the_left_branch(self, products):
+        """The fixpoint lets a filter cross a sort, the join, then the branch."""
+        items, _ = products
+        plan = (
+            Dataset(items[:6], name="l")
+            .sort("important", strategy="rating")
+            .join(Dataset(items[6:10], name="r"))
+            .filter("is a short name")
+            .logical_plan()
+        )
+        optimized = optimize(plan, planner=PLANNER)
+        assert ops_of(optimized) == ["source", "filter", "sort", "source", "join"]
+
+    def test_pushdown_opt_out_applies_to_joins_too(self, products):
+        items, _ = products
+        plan = (
+            Dataset(items[:6], name="l")
+            .join(Dataset(items[6:10], name="r"))
+            .filter("is a short name", pushdown=False)
+            .logical_plan()
+        )
+        optimized = optimize(plan, planner=PLANNER, rules=(push_filters_into_joins,))
+        assert ops_of(optimized) == ops_of(plan)
+
+    def test_join_pushdown_reduces_the_quote(self, products):
+        items, _ = products
+        query = (
+            Dataset(items, name="l")
+            .join(Dataset(items[:4], name="r"), strategy="all_pairs")
+            .filter("is a short name")
+        )
+        assert (
+            query.quote(planner=PLANNER).total_dollars
+            < query.quote(optimized=False, planner=PLANNER).total_dollars
+        )
+
+
+class TestSemiJoinOrdering:
+    def _two_joins(self, items):
+        """A cheap, sharp join stacked *after* an expensive, loose one."""
+        return (
+            Dataset(items[:8], name="base")
+            .join(
+                Dataset(items, name="big"),
+                strategy="all_pairs",
+                expected_selectivity=1.0,
+            )
+            .join(
+                Dataset(items[:2], name="small"),
+                strategy="all_pairs",
+                expected_selectivity=0.25,
+            )
+        )
+
+    def test_cheaper_sharper_join_is_probed_first(self, products):
+        items, _ = products
+        plan = self._two_joins(items).logical_plan()
+        optimized = optimize(plan, planner=PLANNER, rules=(order_semi_joins,))
+        assert optimized.notes
+        # The small right side is now the inner join.
+        outer = optimized.root
+        inner = outer.inputs[0]
+        assert [node.op for node in (outer, inner)] == ["join", "join"]
+        assert len(outer.inputs[1].params["items"]) == len(items)
+        assert len(inner.inputs[1].params["items"]) == 2
+
+    def test_ordering_never_fires_without_a_cost_win(self, products):
+        items, _ = products
+        plan = (
+            Dataset(items[:6], name="base")
+            .join(Dataset(items[:4], name="a"), strategy="all_pairs")
+            .join(Dataset(items[:4], name="b"), strategy="all_pairs")
+            .logical_plan()
+        )
+        optimized = optimize(plan, planner=PLANNER, rules=(order_semi_joins,))
+        # Identical sides and conservative selectivity: no strict win.
+        assert not optimized.notes
+
+    def test_observed_join_selectivity_gates_the_swap(self, products):
+        """Stats can enable a swap the static priors would not justify."""
+        items, _ = products
+        plan = (
+            Dataset(items[:8], name="base")
+            .join(Dataset(items, name="big"), strategy="all_pairs")
+            .join(Dataset(items[:2], name="small"), strategy="all_pairs")
+            .logical_plan()
+        )
+        assert not optimize(plan, planner=PLANNER, rules=(order_semi_joins,)).notes
+        stats = RuntimeStats()
+        stats.record_join(left=10, matched=2)  # joins observed highly selective
+        adaptive = CostPlanner(MODEL, stats=stats)
+        optimized = optimize(plan, planner=adaptive, rules=(order_semi_joins,))
+        assert optimized.notes
+
+
+class TestSubplanSharing:
+    def _rebuilt_prefix(self, items):
+        return Dataset(items, name="p").filter("is a short name")
+
+    def test_structural_duplicates_merge_into_one_node(self, products):
+        items, _ = products
+        query = self._rebuilt_prefix(items).join(self._rebuilt_prefix(items))
+        plan = query.logical_plan()
+        assert ops_of(plan).count("filter") == 2
+        shared = share_common_subplans(plan, PLANNER)
+        assert ops_of(shared).count("filter") == 1
+        assert ops_of(shared).count("source") == 1
+        assert any("shared common filter subplan" in note for note in shared.notes)
+
+    def test_sharing_compiles_the_prefix_once_and_fans_out(self, products):
+        items, _ = products
+        query = (
+            self._rebuilt_prefix(items)
+            .sort("important", strategy="rating")
+            .join(self._rebuilt_prefix(items), strategy="all_pairs")
+        )
+        naive = compile_plan(query.logical_plan(), planner=PLANNER)
+        shared = compile_plan(
+            share_common_subplans(query.logical_plan(), PLANNER), planner=PLANNER
+        )
+        naive_filters = [step for step in naive.steps if step.op == "filter"]
+        shared_filters = [step for step in shared.steps if step.op == "filter"]
+        assert len(naive_filters) == 2 and len(shared_filters) == 1
+        # Both the sort and the join consume the single shared filter step.
+        consumers = [
+            step.name for step in shared.steps if shared_filters[0].name in step.depends_on
+        ]
+        assert len(consumers) >= 2
+        assert shared.quote.total_calls < naive.quote.total_calls
+
+    def test_different_parameters_do_not_share(self, products):
+        items, _ = products
+        left = Dataset(items, name="p").filter("is a short name")
+        right = Dataset(items, name="p").filter("keeps everything")
+        plan = left.join(right).logical_plan()
+        shared = share_common_subplans(plan, PLANNER)
+        assert ops_of(shared).count("filter") == 2
+        # The identical sources still merge even when the filters differ.
+        assert ops_of(shared).count("source") == 1

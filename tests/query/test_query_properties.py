@@ -1,14 +1,18 @@
 """Property-based tests for the query optimizer (hypothesis).
 
-Two invariants from ISSUE 3:
+Invariants from ISSUE 3 (filter fusion/pushdown) and ISSUE 4 (join
+pushdown, subplan sharing):
 
 * **Result identity** — for randomly generated operator chains over an
   entity-consistent oracle and a noise-free simulator, the optimized plan
   produces exactly the items of the naive plan (and of the authored chain's
   semantics computed directly from the ground truth, for the pure-filter
-  cases).
-* **Quote monotonicity** — filter pushdown never increases the pre-flight
-  ``PipelineQuote.total_dollars`` of a plan, whatever the chain shape.
+  cases).  This extends to filters pushed into a semi-join's left input
+  and to branched queries whose structurally duplicated prefixes are
+  shared.
+* **Quote monotonicity** — filter pushdown (plain or into joins) never
+  increases the pre-flight ``PipelineQuote.total_dollars`` of a plan, and
+  subplan sharing never increases the quoted call count.
 """
 
 from __future__ import annotations
@@ -18,7 +22,12 @@ from hypothesis import strategies as st
 
 from repro.core.planner import CostPlanner
 from repro.query import Dataset, compile_plan
-from repro.query.optimizer import fuse_adjacent_filters, push_filters_early
+from repro.query.optimizer import (
+    fuse_adjacent_filters,
+    push_filters_early,
+    push_filters_into_joins,
+    share_common_subplans,
+)
 from tests.query.support import MODEL, clean_engine, product_corpus
 
 PLANNER = CostPlanner(MODEL)
@@ -113,4 +122,97 @@ class TestPushdownQuoteMonotonicity:
         fused = fuse_adjacent_filters(plan, PLANNER)
         before = compile_plan(plan, planner=PLANNER).quote
         after = compile_plan(fused, planner=PLANNER).quote
+        assert after.total_dollars <= before.total_dollars + 1e-12
+
+
+class TestJoinPushdownIdentity:
+    """ISSUE 4: a filter pushed into a semi-join's left input is exact."""
+
+    @given(chain=_chains, n_entities=st.integers(3, 6), seed=st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_optimized_and_naive_joined_plans_produce_identical_items(
+        self, chain, n_entities, seed
+    ):
+        items, oracle = product_corpus(n_entities=n_entities, variants=2)
+        left = [item for item in items if "(refurb" not in item]
+        right = [item for item in items if "(refurb" in item]
+        query = (
+            _build(chain, left)
+            .join(Dataset(right, name="right"), strategy="all_pairs")
+            .filter("is a short name")
+        )
+        optimized = query.run(clean_engine(oracle, seed=seed))
+        naive = query.run(clean_engine(oracle, seed=seed), optimized=False)
+        assert optimized.items == naive.items
+
+    @given(
+        filter_selectivity=st.floats(0.1, 1.0, allow_nan=False),
+        join_selectivity=st.floats(0.05, 1.0, allow_nan=False),
+        n_entities=st.integers(3, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_join_pushdown_never_increases_total_dollars(
+        self, filter_selectivity, join_selectivity, n_entities
+    ):
+        """The rule is cost-gated: whatever the declared selectivities — a
+        sharp join can make filtering afterwards the cheaper order — the
+        rewrite must never raise the quote."""
+        items, _ = product_corpus(n_entities=n_entities, variants=2)
+        query = (
+            Dataset(items, name="l")
+            .join(
+                Dataset(items[: max(2, n_entities)], name="r"),
+                strategy="all_pairs",
+                expected_selectivity=join_selectivity,
+            )
+            .filter("is a short name", expected_selectivity=filter_selectivity)
+        )
+        plan = query.logical_plan()
+        pushed = push_filters_into_joins(plan, PLANNER)
+        before = compile_plan(plan, planner=PLANNER).quote
+        after = compile_plan(pushed, planner=PLANNER).quote
+        assert after.total_dollars <= before.total_dollars + 1e-12
+
+
+class TestSubplanSharingIdentity:
+    """ISSUE 4: sharing a structurally duplicated prefix changes nothing."""
+
+    @given(
+        prefix=st.lists(
+            st.sampled_from(["filter_short", "filter_all", "categorize"]),
+            min_size=1,
+            max_size=2,
+        ),
+        n_entities=st.integers(3, 6),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_branched_join_over_a_rebuilt_prefix_is_identical(
+        self, prefix, n_entities, seed
+    ):
+        items, oracle = product_corpus(n_entities=n_entities, variants=1)
+        query = _build(prefix, items).join(
+            _build(prefix, items), strategy="all_pairs"
+        )
+        optimized = query.run(clean_engine(oracle, seed=seed))
+        naive = query.run(clean_engine(oracle, seed=seed), optimized=False)
+        assert optimized.items == naive.items
+
+    @given(
+        prefix=st.lists(
+            st.sampled_from(["filter_short", "rating_sort", "categorize"]),
+            min_size=1,
+            max_size=2,
+        ),
+        n_entities=st.integers(3, 8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sharing_never_increases_quoted_calls(self, prefix, n_entities):
+        items, _ = product_corpus(n_entities=n_entities, variants=2)
+        query = _build(prefix, items).join(_build(prefix, items), strategy="all_pairs")
+        plan = query.logical_plan()
+        shared = share_common_subplans(plan, PLANNER)
+        before = compile_plan(plan, planner=PLANNER).quote
+        after = compile_plan(shared, planner=PLANNER).quote
+        assert after.total_calls <= before.total_calls
         assert after.total_dollars <= before.total_dollars + 1e-12
