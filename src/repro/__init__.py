@@ -40,12 +40,14 @@ from repro.core.spec import (
 )
 from repro.core.workflow import Workflow
 from repro.query import Dataset, LogicalPlan, QueryResult, compile_plan, optimize
+from repro.store import PersistentResponseCache, Store, WorkloadProfile, fingerprint_spec
 from repro.exceptions import (
     BudgetExceededError,
     ContextLengthExceededError,
     ReproError,
     ResponseParseError,
     SpecError,
+    StoreError,
     UnknownStrategyError,
 )
 from repro.llm import HashingEmbedder, Oracle, SimulatedLLM
@@ -79,6 +81,7 @@ __all__ = [
     "JoinSpec",
     "LogicalPlan",
     "Oracle",
+    "PersistentResponseCache",
     "PhysicalPlanner",
     "PipelineSpec",
     "PipelineStep",
@@ -93,10 +96,14 @@ __all__ = [
     "SortOperator",
     "SortSpec",
     "SpecError",
+    "Store",
+    "StoreError",
     "TopKSpec",
     "UnknownStrategyError",
     "Workflow",
+    "WorkloadProfile",
     "__version__",
     "compile_plan",
+    "fingerprint_spec",
     "optimize",
 ]

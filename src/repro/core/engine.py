@@ -31,7 +31,7 @@ pending steps.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.budget import Budget, BudgetLease
 from repro.core.physical import PhysicalPlan, PhysicalPlanner, ResolvedStrategy
@@ -50,9 +50,10 @@ from repro.core.spec import (
     TopKSpec,
 )
 from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
-from repro.exceptions import SpecError
+from repro.exceptions import SpecError, StoreError
 from repro.llm.base import LLMClient
 from repro.llm.registry import ModelRegistry
+from repro.operators.base import OperatorResult
 from repro.operators.categorize import CategorizeOperator, CategorizeResult
 from repro.operators.cluster import ClusterOperator, ClusterResult
 from repro.operators.filter import FilterOperator, FilterResult
@@ -61,7 +62,11 @@ from repro.operators.join import JoinOperator, JoinResult
 from repro.operators.resolve import PairJudgmentResult, ResolveOperator, ResolveResult
 from repro.operators.sort import SortOperator, SortResult
 from repro.operators.top_k import TopKOperator, TopKResult
+from repro.store.fingerprint import fingerprint_spec
 from repro.tokenizer.cost import Usage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import Store
 
 
 class DeclarativeEngine:
@@ -362,6 +367,7 @@ class DeclarativeEngine:
         *,
         quote: PipelineQuote | None = None,
         max_concurrency: int | None = None,
+        store: "Store | None" = None,
     ) -> WorkflowReport:
         """Run a declarative pipeline (or a pre-built workflow) as a DAG.
 
@@ -371,12 +377,24 @@ class DeclarativeEngine:
         the pre-flight quote.  When no ``quote`` is passed and ``pipeline``
         is a spec, one is computed automatically and attached to the report.
 
+        With a :class:`~repro.store.Store` (passed here, or already attached
+        to the session), execution is **checkpointed**: every completed spec
+        step's result is persisted under its content fingerprint as soon as
+        it finishes, and any step whose fingerprint is already in the store
+        is restored without a single LLM call — which is what makes a
+        killed run resumable and a partially edited pipeline incremental
+        (only the changed subtree re-executes).  Restored steps are flagged
+        ``restored`` in the report.  The session's workload profile is
+        saved back to the store after the run.
+
         Args:
             pipeline: a :class:`~repro.core.spec.PipelineSpec`, or a
                 :class:`~repro.core.workflow.Workflow` built by hand.
             quote: optional pre-computed quote (avoids re-estimating).
             max_concurrency: scheduler pool size for independent steps;
                 defaults to the session's ``max_concurrency``.
+            store: durable store for checkpoints/profile; defaults to the
+                session's own store when it has one.
         """
         if isinstance(pipeline, Workflow):
             workflow = pipeline
@@ -384,19 +402,63 @@ class DeclarativeEngine:
             workflow = Workflow.from_pipeline(pipeline)
             if quote is None:
                 quote = self.quote_pipeline(pipeline)
-        return workflow.execute(
-            self.session,
-            max_concurrency=max_concurrency,
-            spec_runner=self._run_pipeline_step,
-            quote=quote,
+        if store is None:
+            store = getattr(self.session, "store", None)
+        restored: set[str] = set()
+        if store is None:
+            spec_runner = self._run_pipeline_step
+        else:
+
+            def spec_runner(
+                step: WorkflowStep, inputs: Mapping[str, Any], lease: BudgetLease | None
+            ) -> Any:
+                return self._run_checkpointed_step(store, restored, step, inputs, lease)
+
+        try:
+            report = workflow.execute(
+                self.session,
+                max_concurrency=max_concurrency,
+                spec_runner=spec_runner,
+                quote=quote,
+            )
+        except BaseException:
+            # A crashed run's completed steps already checkpointed
+            # themselves; their observations are just as real, so the
+            # profile survives the failure too (the resumed process
+            # warm-starts from everything that did happen).  Best
+            # effort only: a store failure here (locked db, full disk)
+            # must not replace the pipeline's real exception.
+            try:
+                self._save_profile(store)
+            except Exception:
+                pass
+            raise
+        for name in restored:
+            report.step_reports[name].restored = True
+        # Persist the (possibly newly grown) observations so the next
+        # session warm-starts its quotes from this run.
+        self._save_profile(store)
+        return report
+
+    def _save_profile(self, store: "Store | None") -> None:
+        """Save the session's stats to ``store``, history-preserving.
+
+        A session seeded from this store already carries its decayed
+        history, so a plain replace is exact; saving to any *other* store
+        (an explicit ``store=`` argument) merges the saved history
+        underneath first, so one small run cannot clobber an accumulated
+        profile.
+        """
+        if store is None:
+            return
+        store.save_profile(
+            self.session.stats, merge=store is not getattr(self.session, "store", None)
         )
 
-    def _run_pipeline_step(
-        self,
-        step: WorkflowStep,
-        inputs: Mapping[str, Any],
-        lease: BudgetLease | None,
-    ) -> Any:
+    def _materialize_step_task(
+        self, step: WorkflowStep, inputs: Mapping[str, Any]
+    ) -> TaskSpec:
+        """The concrete spec a pipeline step will execute (factories applied)."""
         task = step.task
         if callable(task) and not isinstance(task, TaskSpec):
             task = task(inputs)
@@ -411,4 +473,56 @@ class DeclarativeEngine:
             # step here so a run-time failure (e.g. an upstream filter left no
             # items) is attributable without digging through the DAG.
             raise SpecError(f"pipeline step {step.name!r}: {exc}") from exc
-        return self.run_spec(task, budget=lease)
+        return task
+
+    def _run_pipeline_step(
+        self,
+        step: WorkflowStep,
+        inputs: Mapping[str, Any],
+        lease: BudgetLease | None,
+    ) -> Any:
+        return self.run_spec(self._materialize_step_task(step, inputs), budget=lease)
+
+    def _run_checkpointed_step(
+        self,
+        store: "Store",
+        restored: set[str],
+        step: WorkflowStep,
+        inputs: Mapping[str, Any],
+        lease: BudgetLease | None,
+    ) -> Any:
+        """Run one spec step through the checkpoint store.
+
+        The fingerprint is computed over the *concrete* spec (factories
+        already applied), so it content-addresses the step's resolved
+        inputs; a hit restores the stored result before any strategy
+        resolution happens — validation-driven ``auto`` steps therefore
+        skip even their labelled-sample candidate runs on resume.  Specs
+        that cannot be fingerprinted or results without a codec simply
+        bypass the store (re-running is always correct).
+        """
+        task = self._materialize_step_task(step, inputs)
+        try:
+            fingerprint = fingerprint_spec(task)
+        except StoreError:
+            return self.run_spec(task, budget=lease)
+        try:
+            cached = store.load_checkpoint(fingerprint)
+        except Exception:
+            # A mangled row or a database error must never sink a resume:
+            # re-running the step is always correct, so a failed load is
+            # just a miss.
+            cached = None
+        if cached is not None:
+            restored.add(step.name)
+            return cached
+        result = self.run_spec(task, budget=lease)
+        if isinstance(result, OperatorResult):
+            try:
+                store.save_checkpoint(fingerprint, task, result)
+            except Exception:
+                # Best effort: a full disk, a locked database, or a result
+                # without a codec must not fail a step whose (paid-for)
+                # LLM work already succeeded.
+                pass
+        return result

@@ -57,6 +57,8 @@ from repro.exceptions import ConfigurationError, SpecError
 from repro.metrics.classification import accuracy as exact_match_accuracy
 from repro.metrics.classification import f1_score
 from repro.metrics.ranking import kendall_tau_b
+from repro.operators.categorize import CategorizeOperator, CategorizeResult
+from repro.operators.filter import FilterOperator, FilterResult
 from repro.operators.impute import ImputeOperator, ImputeResult
 from repro.operators.resolve import PairJudgmentResult, ResolveOperator
 from repro.operators.sort import SortOperator, SortResult
@@ -97,9 +99,10 @@ class RuntimeStats:
         self._dedup = _Ratio()
         self._pair_match = _Ratio()
         self._join = _Ratio()
+        self._blocked_pairs = _Ratio()
         self._calls: dict[str, _Ratio] = {}
-        self._call_counts: dict[str, int] = {}
-        self._runs: dict[str, int] = {}
+        self._call_counts: dict[str, float] = {}
+        self._runs: dict[str, float] = {}
 
     # -- recorders -------------------------------------------------------------------
 
@@ -136,11 +139,20 @@ class RuntimeStats:
             self._join.numerator += matched
             self._join.denominator += left
 
+    def record_blocked_pairs(self, *, candidates: int, upper_bound: int) -> None:
+        """Record a blocking run: the mutual-neighbor blocker emitted
+        ``candidates`` pairs where the k·n bound allowed ``upper_bound``."""
+        if upper_bound <= 0:
+            return
+        with self._lock:
+            self._blocked_pairs.numerator += candidates
+            self._blocked_pairs.denominator += upper_bound
+
     def record_calls(self, label: str, *, estimated: int, actual: int) -> None:
         """Record a strategy run: the planner quoted ``estimated`` calls, it took ``actual``."""
         with self._lock:
-            self._call_counts[label] = self._call_counts.get(label, 0) + actual
-            self._runs[label] = self._runs.get(label, 0) + 1
+            self._call_counts[label] = self._call_counts.get(label, 0.0) + actual
+            self._runs[label] = self._runs.get(label, 0.0) + 1
             if estimated > 0:
                 ratio = self._calls.setdefault(label, _Ratio())
                 ratio.numerator += actual
@@ -169,6 +181,11 @@ class RuntimeStats:
         with self._lock:
             return self._join.value
 
+    def blocked_pair_rate(self) -> float | None:
+        """Observed candidate-pair fraction of the blocker's k·n upper bound."""
+        with self._lock:
+            return self._blocked_pairs.value
+
     def call_ratio(self, label: str) -> float | None:
         """Observed actual/estimated call ratio for a strategy label."""
         with self._lock:
@@ -176,14 +193,18 @@ class RuntimeStats:
             return ratio.value if ratio is not None else None
 
     def call_count(self, label: str) -> int:
-        """Total observed calls recorded under a strategy label."""
+        """Total observed calls recorded under a strategy label.
+
+        Decay-weighted history merged from a workload profile contributes
+        fractionally; the reported count rounds to the nearest whole call.
+        """
         with self._lock:
-            return self._call_counts.get(label, 0)
+            return int(round(self._call_counts.get(label, 0.0)))
 
     def run_count(self, label: str) -> int:
         """How many operator runs were recorded under a strategy label."""
         with self._lock:
-            return self._runs.get(label, 0)
+            return int(round(self._runs.get(label, 0.0)))
 
     @property
     def empty(self) -> bool:
@@ -196,6 +217,7 @@ class RuntimeStats:
                 or self._dedup.denominator
                 or self._pair_match.denominator
                 or self._join.denominator
+                or self._blocked_pairs.denominator
             )
 
     def snapshot(self) -> dict[str, Any]:
@@ -208,9 +230,71 @@ class RuntimeStats:
                 "dedup_survivor_ratio": self._dedup.value,
                 "pair_match_rate": self._pair_match.value,
                 "join_selectivity": self._join.value,
+                "blocked_pair_rate": self._blocked_pairs.value,
                 "call_ratio": {label: ratio.value for label, ratio in self._calls.items()},
-                "call_count": dict(self._call_counts),
+                "call_count": {
+                    label: int(round(count)) for label, count in self._call_counts.items()
+                },
             }
+
+    # -- durable state (workload profiles) ---------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """Every accumulator as plain JSON-shaped data (see ``repro.store``).
+
+        The export carries raw numerator/denominator pairs rather than the
+        derived ratios, so merging two states (or decay-scaling one) keeps
+        the evidence-weighting exact: a ratio observed over 1000 items
+        outweighs one observed over 10.
+        """
+
+        def pair(ratio: _Ratio) -> list[float]:
+            return [ratio.numerator, ratio.denominator]
+
+        with self._lock:
+            return {
+                "filter": {predicate: pair(r) for predicate, r in self._filter.items()},
+                "dedup": pair(self._dedup),
+                "pair_match": pair(self._pair_match),
+                "join": pair(self._join),
+                "blocked_pairs": pair(self._blocked_pairs),
+                "calls": {label: pair(r) for label, r in self._calls.items()},
+                "call_counts": dict(self._call_counts),
+                "runs": dict(self._runs),
+            }
+
+    def merge_state(self, state: Mapping[str, Any], *, weight: float = 1.0) -> None:
+        """Add an exported state's counts into this store, scaled by ``weight``.
+
+        ``weight < 1`` is how workload profiles decay: saved observations
+        arrive with reduced evidence mass, so fresh observations of the
+        same statistic overtake them instead of being averaged away.
+        Scaling numerator and denominator alike leaves the merged *ratios*
+        identical to the saved ones until new evidence lands.
+        """
+        if weight <= 0:
+            return
+
+        def add(ratio: _Ratio, pair: Any) -> None:
+            numerator, denominator = pair
+            ratio.numerator += float(numerator) * weight
+            ratio.denominator += float(denominator) * weight
+
+        with self._lock:
+            for predicate, pair in dict(state.get("filter", {})).items():
+                add(self._filter.setdefault(predicate, _Ratio()), pair)
+            add(self._dedup, state.get("dedup", (0, 0)))
+            add(self._pair_match, state.get("pair_match", (0, 0)))
+            add(self._join, state.get("join", (0, 0)))
+            add(self._blocked_pairs, state.get("blocked_pairs", (0, 0)))
+            for label, pair in dict(state.get("calls", {})).items():
+                add(self._calls.setdefault(label, _Ratio()), pair)
+            for label, count in dict(state.get("call_counts", {})).items():
+                self._call_counts[label] = (
+                    self._call_counts.get(label, 0.0) + float(count) * weight
+                )
+            for label, count in dict(state.get("runs", {})).items():
+                self._runs[label] = self._runs.get(label, 0.0) + float(count) * weight
 
 
 # -- resolved strategies ---------------------------------------------------------------
@@ -290,6 +374,13 @@ class PhysicalPlan:
 _MIN_SORT_VALIDATION = 3
 _MIN_RESOLVE_VALIDATION = 5
 _MIN_IMPUTE_VALIDATION = 5
+_MIN_FILTER_VALIDATION = 5
+_MIN_CATEGORIZE_VALIDATION = 5
+
+#: How many of the cheapest chat models form the default ensemble when a
+#: filter/categorize spec asks for validation-driven selection without
+#: naming voter models itself.
+_DEFAULT_ENSEMBLE_SIZE = 3
 
 
 class PhysicalPlanner:
@@ -415,6 +506,10 @@ class PhysicalPlanner:
             return bool(spec.pairs) and len(spec.validation_labels) >= _MIN_RESOLVE_VALIDATION
         if isinstance(spec, ImputeSpec):
             return self._impute_validation_size(spec) >= _MIN_IMPUTE_VALIDATION
+        if isinstance(spec, FilterSpec):
+            return len(spec.validation_labels) >= _MIN_FILTER_VALIDATION
+        if isinstance(spec, CategorizeSpec):
+            return len(spec.validation_labels) >= _MIN_CATEGORIZE_VALIDATION
         return False
 
     # -- cost-based selection ---------------------------------------------------------
@@ -587,7 +682,11 @@ class PhysicalPlanner:
             strategy, options = self._validate_resolve(spec, budget)
         elif isinstance(spec, ImputeSpec):
             strategy, options = self._validate_impute(spec, budget), {}
-        else:  # pragma: no cover - would_validate only matches the three above
+        elif isinstance(spec, FilterSpec):
+            strategy, options = self._validate_filter(spec, budget)
+        elif isinstance(spec, CategorizeSpec):
+            strategy, options = self._validate_categorize(spec, budget)
+        else:  # pragma: no cover - would_validate only matches the types above
             return None
         return ResolvedStrategy(
             strategy=strategy,
@@ -725,6 +824,129 @@ class PhysicalPlanner:
             accuracy_target=spec.accuracy_target,
         )
         return chosen.candidate.name
+
+    def _ensemble_models(self, spec: TaskSpec) -> list[str]:
+        """Voter models for filter/categorize ensemble candidates.
+
+        An explicit ``strategy_options["models"]`` wins; otherwise the
+        cheapest chat models in the session registry form the default panel
+        (diverse-but-affordable voters, the quality-control setting of
+        paper Section 3.5).  Fewer than two voters disables the ensemble
+        candidates — a one-model "ensemble" is just per-item with overhead.
+        """
+        explicit = spec.strategy_options.get("models")
+        if explicit:
+            return [str(model) for model in explicit]
+        by_cost = self.session.registry.chat_models_by_cost()
+        return [model.name for model in by_cost[:_DEFAULT_ENSEMBLE_SIZE]]
+
+    def _validate_filter(
+        self, spec: FilterSpec, budget: "Budget | BudgetLease | None"
+    ) -> tuple[str, dict]:
+        """Pick a filter strategy by measuring candidates on the labelled items.
+
+        Labels are for the *conjunction* of the spec's predicates, so each
+        candidate runs the predicates sequentially over a shrinking survivor
+        set — exactly how the engine executes the full spec — and is scored
+        by the F1 of its final keep/drop decisions against the labels.
+        """
+        labels = {str(item): bool(keep) for item, keep in spec.validation_labels.items()}
+        sample = list(labels)
+        models = self._ensemble_models(spec)
+        candidates = [StrategyCandidate(name="per_item", cost_scaling="linear")]
+        if len(models) >= 2:
+            candidates.append(
+                StrategyCandidate(
+                    name="ensemble_vote", options={"models": models}, cost_scaling="linear"
+                )
+            )
+            candidates.append(
+                StrategyCandidate(
+                    name="adaptive", options={"models": models}, cost_scaling="linear"
+                )
+            )
+
+        def run_candidate(candidate: StrategyCandidate) -> FilterResult:
+            decisions = {item: True for item in sample}
+            survivors = sample
+            merged = FilterResult(strategy=candidate.name, decisions=decisions)
+            for predicate in spec.all_predicates:
+                if not survivors:
+                    break
+                operator = FilterOperator(
+                    self.session.client(budget), predicate, **self.operator_kwargs(budget)
+                )
+                result = operator.run(survivors, strategy=candidate.name, **candidate.options)
+                for item in survivors:
+                    decisions[item] = result.decisions.get(item, False)
+                survivors = list(result.kept)
+                merged.usage.add(result.usage)
+                merged.cost += result.cost
+                merged.votes_used += result.votes_used
+            merged.kept = [item for item in sample if decisions[item]]
+            return merged
+
+        def score(result: FilterResult) -> float:
+            predictions = [result.decisions.get(item, False) for item in sample]
+            truth = [labels[item] for item in sample]
+            return f1_score(predictions, truth)
+
+        selector = StrategySelector(
+            run_candidate=run_candidate,
+            score=score,
+            validation_size=len(sample),
+            full_size=len(spec.items),
+        )
+        chosen = selector.select(
+            candidates,
+            budget_dollars=spec.budget_dollars,
+            accuracy_target=spec.accuracy_target,
+        )
+        return chosen.candidate.name, dict(chosen.candidate.options)
+
+    def _validate_categorize(
+        self, spec: CategorizeSpec, budget: "Budget | BudgetLease | None"
+    ) -> tuple[str, dict]:
+        """Pick a categorize strategy by accuracy on the labelled items."""
+        labels = {str(item): str(label) for item, label in spec.validation_labels.items()}
+        sample = list(labels)
+        models = self._ensemble_models(spec)
+        candidates = [
+            StrategyCandidate(name="per_item", cost_scaling="linear"),
+            StrategyCandidate(
+                name="self_consistency", options={"n_samples": 3}, cost_scaling="linear"
+            ),
+        ]
+        if len(models) >= 2:
+            candidates.append(
+                StrategyCandidate(
+                    name="ensemble_vote", options={"models": models}, cost_scaling="linear"
+                )
+            )
+
+        def run_candidate(candidate: StrategyCandidate) -> CategorizeResult:
+            operator = CategorizeOperator(
+                self.session.client(budget),
+                list(spec.categories),
+                **self.operator_kwargs(budget),
+            )
+            return operator.run(sample, strategy=candidate.name, **candidate.options)
+
+        def score(result: CategorizeResult) -> float:
+            return exact_match_accuracy(result.assignments, labels)
+
+        selector = StrategySelector(
+            run_candidate=run_candidate,
+            score=score,
+            validation_size=len(sample),
+            full_size=len(spec.items),
+        )
+        chosen = selector.select(
+            candidates,
+            budget_dollars=spec.budget_dollars,
+            accuracy_target=spec.accuracy_target,
+        )
+        return chosen.candidate.name, dict(chosen.candidate.options)
 
     # -- feedback --------------------------------------------------------------------
 

@@ -261,9 +261,31 @@ class CostPlanner:
             raise SpecError(
                 f"cannot estimate cost for spec type {type(spec).__name__}"
             )
-        if not isinstance(spec, FilterSpec):
+        if not isinstance(spec, FilterSpec) and not self._blocked_rate_priced(spec):
             estimate = self._apply_call_ratio(estimate)
         return estimate
+
+    def _blocked_rate_priced(self, spec: TaskSpec) -> bool:
+        """Whether the estimate was already corrected by the blocked-pair rate.
+
+        A blocked resolve priced from the observed mutual-neighbor rate must
+        not *also* be scaled by its recorded call ratio — the ratio was
+        measured against the uncorrected k·n structural estimate, so it
+        encodes the same blocking shrinkage and would double-correct.
+        """
+        return (
+            isinstance(spec, ResolveSpec)
+            and not spec.pairs
+            and spec.strategy == "blocked_pairwise"
+            and self.stats is not None
+            and self.stats.blocked_pair_rate() is not None
+        )
+
+    def observed_blocked_pair_rate(self) -> float | None:
+        """The observed candidate-pair fraction of the k·n bound, if any."""
+        if self.stats is None:
+            return None
+        return self.stats.blocked_pair_rate()
 
     #: Observed call ratios outside this band are treated as
     #: workload-specific flukes rather than transferable corrections.
@@ -360,6 +382,19 @@ class CostPlanner:
             elif strategy == "blocked_pairwise":
                 block_k = int(spec.strategy_options.get("block_k", 5))
                 estimate = self.pairwise_against(records, block_k)
+                # The k·n pair count is an upper bound: the mutual-neighbor
+                # blocker deduplicates symmetric and overlapping neighbor
+                # pairs, and the observed candidate fraction says by how
+                # much.  Price from the observation when one exists.
+                rate = self.observed_blocked_pair_rate()
+                if rate is not None and estimate.calls > 0:
+                    rate = min(1.0, max(rate, 1.0 / max(1, estimate.calls)))
+                    estimate = self._estimate(
+                        estimate.strategy,
+                        calls=max(1, int(round(estimate.calls * rate))),
+                        prompt_tokens=estimate.usage.prompt_tokens * rate,
+                        completion_tokens=estimate.usage.completion_tokens * rate,
+                    )
             else:
                 # "pairwise" and "auto" (the engine's records-path default).
                 if strategy == "auto":

@@ -16,17 +16,21 @@ path never loses accounting updates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import DEFAULT_CONFIG, ReproConfig
 from repro.core.budget import Budget, BudgetLease
 from repro.core.executor import BatchExecutor
 from repro.core.physical import RuntimeStats
-from repro.exceptions import BudgetExceededError
+from repro.exceptions import BudgetExceededError, StoreError
 from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
-from repro.llm.cache import CachedClient, ResponseCache
+from repro.llm.cache import CachedClient, ResponseCache, ResponseCacheLike
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.llm.tracker import UsageTracker
 from repro.tokenizer.cost import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import Store
 
 
 @dataclass
@@ -86,6 +90,14 @@ class PromptSession:
         use_cache: whether identical temperature-0 prompts are deduplicated.
         max_concurrency: thread-pool size operators use for their independent
             unit tasks; 1 (the default) keeps everything sequential.
+        store: optional durable :class:`~repro.store.Store`.  When given,
+            the response cache lives in the store (temperature-0 calls are
+            free across process lifetimes) and the saved workload profile —
+            if one exists — is merged decay-weighted into this session's
+            fresh :class:`RuntimeStats`, so the first quote is priced from
+            the previous run's observations.
+        profile_decay: weight applied to the loaded profile's observation
+            counts (see :mod:`repro.store.profile`).
     """
 
     def __init__(
@@ -97,6 +109,8 @@ class PromptSession:
         config: ReproConfig = DEFAULT_CONFIG,
         use_cache: bool = True,
         max_concurrency: int = 1,
+        store: "Store | None" = None,
+        profile_decay: float = 0.5,
     ) -> None:
         self.registry = registry or default_registry()
         self.budget = budget or Budget()
@@ -104,12 +118,19 @@ class PromptSession:
         self.max_concurrency = max_concurrency
         self.cost_model: CostModel = self.registry.cost_model()
         self.tracker = UsageTracker(cost_model=self.cost_model)
-        self.cache = ResponseCache()
+        self.store = store
+        self.cache: ResponseCacheLike = (
+            store.response_cache() if store is not None else ResponseCache()
+        )
         # Observed execution statistics (filter selectivities, dedup ratios,
         # per-strategy call counts).  The engine records into this after
         # every operator run; planners built from this session consume it so
-        # later quotes are priced from what actually happened.
+        # later quotes are priced from what actually happened.  A store's
+        # saved workload profile seeds it (decay-weighted) before anything
+        # runs, so warm starts quote from history.
         self.stats = RuntimeStats()
+        if store is not None:
+            store.apply_profile(self.stats, decay=profile_decay)
         self._client: LLMClient = CachedClient(client, self.cache) if use_cache else client
         self._raw_client = client
 
@@ -221,6 +242,24 @@ class PromptSession:
     def reset_usage(self) -> None:
         """Clear the tracker (the budget's spend is intentionally kept)."""
         self.tracker.reset()
+
+    def save_profile(self, store: "Store | None" = None, *, name: str = "default") -> None:
+        """Persist this session's observed statistics as a workload profile.
+
+        Saves to ``store`` when given, else to the session's own store.  The
+        engine calls this automatically after ``run_pipeline(store=...)``;
+        call it directly after ad-hoc operator runs worth remembering.
+        """
+        target = store if store is not None else self.store
+        if target is None:
+            raise StoreError(
+                "no store to save the workload profile to; pass one, or build "
+                "the session with store="
+            )
+        # Saving to a store this session was not seeded from merges the
+        # saved history underneath (this session's stats do not contain it);
+        # the session's own store is replaced exactly.
+        target.save_profile(self.stats, name=name, merge=target is not self.store)
 
 
 class BudgetScopedSession:

@@ -126,12 +126,21 @@ class FilterSpec(TaskSpec):
     ``predicates``.  ``expected_selectivities`` optionally gives the planner
     a surviving-fraction prior per predicate (0.5 each when omitted), so a
     fused spec quotes exactly like the equivalent sequential steps.
+
+    ``validation_labels`` optionally maps a small labelled subset of the
+    items to their ground-truth keep/drop decision (for the *conjunction*
+    of the predicates).  An ``"auto"`` spec carrying enough labels is
+    resolved by validation-driven selection: the
+    :class:`~repro.core.physical.PhysicalPlanner` measures the per-item
+    strategy against the ensemble strategies on the labelled sample and
+    picks the best under the spec's budget/accuracy constraints.
     """
 
     items: Sequence[str] = ()
     predicate: str = ""
     predicates: Sequence[str] = ()
     expected_selectivities: Sequence[float] = ()
+    validation_labels: Mapping[str, bool] = field(default_factory=dict)
 
     @property
     def all_predicates(self) -> tuple[str, ...]:
@@ -150,14 +159,26 @@ class FilterSpec(TaskSpec):
             raise SpecError("a filter spec needs at least one item")
         if any(not 0.0 < value <= 1.0 for value in self.expected_selectivities):
             raise SpecError("expected_selectivities must be in (0, 1]")
+        unknown = set(self.validation_labels) - {str(item) for item in self.items}
+        if unknown:
+            raise SpecError(
+                f"validation-labelled items not present in the input: {sorted(unknown)}"
+            )
 
 
 @dataclass
 class CategorizeSpec(TaskSpec):
-    """Assign each of ``items`` to one of the fixed ``categories``."""
+    """Assign each of ``items`` to one of the fixed ``categories``.
+
+    ``validation_labels`` optionally maps a small labelled subset of the
+    items to their true category; an ``"auto"`` spec carrying enough labels
+    goes through validation-driven selection (per-item vs. self-consistency
+    vs. multi-model ensemble) instead of the cost-based default.
+    """
 
     items: Sequence[str] = ()
     categories: Sequence[str] = ()
+    validation_labels: Mapping[str, str] = field(default_factory=dict)
 
     def validate(self) -> None:
         super().validate()
@@ -168,6 +189,16 @@ class CategorizeSpec(TaskSpec):
             raise SpecError("a categorize spec needs at least two categories")
         if len(set(labels)) != len(labels):
             raise SpecError("categories must be distinct")
+        unknown = set(self.validation_labels) - {str(item) for item in self.items}
+        if unknown:
+            raise SpecError(
+                f"validation-labelled items not present in the input: {sorted(unknown)}"
+            )
+        bad_labels = {str(v) for v in self.validation_labels.values()} - set(labels)
+        if bad_labels:
+            raise SpecError(
+                f"validation labels outside the category set: {sorted(bad_labels)}"
+            )
 
 
 @dataclass

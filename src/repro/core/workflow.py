@@ -90,10 +90,14 @@ class StepReport:
             ``"skipped"`` (never dispatched).
         cost: dollars the step reported (spec steps only; callable steps
             appear as 0 because concurrent siblings make a global-tracker
-            delta unattributable).
+            delta unattributable).  A restored step reports the *original*
+            run's cost — what the checkpoint saved, not new spend.
         calls: LLM calls the step reported (spec steps only).
         allocation: the budget share apportioned to the step, if any.
         description: the step's human-readable summary, copied from the spec.
+        restored: the result was served from a checkpoint store — this run
+            made no LLM calls for the step (the report's ``total_*`` deltas
+            already reflect that).
     """
 
     name: str
@@ -102,6 +106,7 @@ class StepReport:
     calls: int = 0
     allocation: float | None = None
     description: str = ""
+    restored: bool = False
 
 
 @dataclass
@@ -138,6 +143,11 @@ class WorkflowReport:
     def skipped_steps(self) -> list[str]:
         """Steps that were never dispatched (safe to re-run from scratch)."""
         return [name for name, step in self.step_reports.items() if step.status == "skipped"]
+
+    @property
+    def restored_steps(self) -> list[str]:
+        """Steps whose results came from a checkpoint store (zero new calls)."""
+        return [name for name, step in self.step_reports.items() if step.restored]
 
 
 class Workflow:

@@ -76,6 +76,15 @@ class UnknownStrategyError(SpecError):
         super().__init__(message)
 
 
+class StoreError(ReproError):
+    """The durable store could not be opened or used safely.
+
+    Raised when a store file belongs to another application or was written
+    by a newer library version — the cases where silently rebuilding would
+    destroy data the library does not own or cannot read.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset is malformed for the requested operation."""
 

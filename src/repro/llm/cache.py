@@ -20,9 +20,30 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
 from repro.tokenizer.cost import Usage
+
+
+@runtime_checkable
+class ResponseCacheLike(Protocol):
+    """The cache surface :class:`CachedClient` (and sessions) rely on.
+
+    Both the in-memory :class:`ResponseCache` and the durable
+    :class:`~repro.store.PersistentResponseCache` satisfy this, so anything
+    accepting a cache can take either interchangeably.
+    """
+
+    stats: "CacheStats"
+
+    def get(self, model: str, prompt: str) -> LLMResponse | None: ...  # pragma: no cover
+
+    def put(self, model: str, prompt: str, response: LLMResponse) -> None: ...  # pragma: no cover
+
+    def __len__(self) -> int: ...  # pragma: no cover
+
+    def clear(self) -> None: ...  # pragma: no cover
 
 
 @dataclass
@@ -105,11 +126,11 @@ class CachedClient:
     can still count logical requests if they want to.
     """
 
-    def __init__(self, client: LLMClient, cache: ResponseCache | None = None) -> None:
+    def __init__(self, client: LLMClient, cache: ResponseCacheLike | None = None) -> None:
         self._client = client
         # `cache or ResponseCache()` would discard an *empty* cache (it is
         # falsy because it defines __len__), so test for None explicitly.
-        self.cache = cache if cache is not None else ResponseCache()
+        self.cache: ResponseCacheLike = cache if cache is not None else ResponseCache()
 
     def _cache_key_model(self, model: str | None) -> str:
         return model or getattr(self._client, "default_model", "default")

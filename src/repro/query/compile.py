@@ -77,6 +77,13 @@ class CompiledQuery:
     step_of: Mapping[LogicalNode, str]
     #: Computes the query's final item list from the pipeline's results.
     extract_output: Callable[[Mapping[str, Any]], list[str]]
+    #: Records post-run observations the engine cannot see from inside a
+    #: step — proxy-resolve dedup survivor ratios and blocked-pair rates.
+    #: ``Dataset.run`` calls this once with the pipeline's results, the
+    #: session's :class:`~repro.core.physical.RuntimeStats`, and the names
+    #: of checkpoint-restored steps (whose evidence was already recorded by
+    #: the run that produced them, so it must not be double-counted).
+    record_feedback: Callable[..., None] = lambda results, stats, restored=frozenset(): None
 
 
 def compile_plan(
@@ -305,6 +312,47 @@ def compile_plan(
     spec.validate()
     quote = PipelineQuote(pipeline=plan.name, steps=quoted, unquoted=tuple(unquoted))
     root = plan.root
+
+    proxy_nodes = [
+        node for node in nodes if node.op == "resolve" and node.params.get("proxy")
+    ]
+
+    def record_feedback(
+        results: Mapping[str, Any], stats: Any, restored: frozenset = frozenset()
+    ) -> None:
+        """Feed proxy-resolve outcomes back into the session's runtime stats.
+
+        The engine records dedup survivor ratios for records-path resolves
+        it runs itself, but a proxy-rewritten dedup executes as a blocking
+        callable plus a pair-judgment step — the cluster count only exists
+        here, where the judgments are merged into representatives.  Without
+        this, only records-path resolves informed the dedup ratio.
+
+        ``restored`` steps are skipped: their evidence was recorded by the
+        run that produced the checkpoint, and re-adding it on every free
+        replay would let one workload's observations grow without bound.
+        """
+        for node in proxy_nodes:
+            judge_name = step_of[node]
+            if judge_name not in results:
+                continue  # step stopped/skipped: nothing observed
+            if judge_name in restored:
+                continue  # replayed from a checkpoint: already recorded
+            blocking = results.get(block_step_of[node])
+            if blocking is None:
+                # Degenerate (<2 survivors) path: the judge ran a records
+                # resolve through the engine, which already recorded it.
+                continue
+            parent_items = _unique(materialize(node.inputs[0], results))
+            representatives = _representatives(parent_items, results[judge_name])
+            stats.record_dedup(inputs=len(parent_items), survivors=len(representatives))
+            block_k = int(node.params.get("block_k", 5))
+            effective_k = min(block_k, max(1, len(parent_items) - 1))
+            stats.record_blocked_pairs(
+                candidates=blocking.n_candidates,
+                upper_bound=effective_k * len(parent_items),
+            )
+
     return CompiledQuery(
         plan=plan,
         spec=spec,
@@ -312,6 +360,7 @@ def compile_plan(
         steps=tuple(compiled_steps),
         step_of=dict(step_of),
         extract_output=lambda results: materialize(root, results),
+        record_feedback=record_feedback,
     )
 
 
@@ -465,14 +514,25 @@ def _stats_annotation(node: LogicalNode, planner: CostPlanner | None) -> str:
 
 
 def _proxy_estimate(node: LogicalNode, planner: CostPlanner | None) -> CostEstimate | None:
-    """Quote a proxy-blocked resolve: pair judgments over ~k·n candidates."""
+    """Quote a proxy-blocked resolve: pair judgments over the blocked candidates.
+
+    The structural prior is the k·n upper bound; once a blocking run has
+    been observed (this session or a loaded workload profile), the quote
+    shrinks to the observed mutual-neighbor candidate fraction of that
+    bound — symmetric and overlapping neighbor pairs deduplicate, so the
+    real candidate count routinely lands well under k·n.
+    """
     if planner is None:
         return None
     items = estimated_items(node.inputs[0], getattr(planner, "stats", None))
     if len(items) < 2:
         return None
     block_k = int(node.params.get("block_k", 5))
-    count = min(block_k * len(items), len(items) * (len(items) - 1) // 2)
+    upper_bound = block_k * len(items)
+    count = min(upper_bound, len(items) * (len(items) - 1) // 2)
+    rate = planner.observed_blocked_pair_rate()
+    if rate is not None:
+        count = min(count, max(1, int(round(upper_bound * rate))))
     pairs: list[tuple[str, str]] = []
     for distance in range(1, len(items)):
         for index in range(len(items) - distance):

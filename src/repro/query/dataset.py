@@ -29,7 +29,7 @@ pay, and infers ``depends_on`` edges from data lineage so annotating steps
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.config import DEFAULT_CONFIG
 from repro.core.engine import DeclarativeEngine
@@ -42,6 +42,9 @@ from repro.exceptions import SpecError
 from repro.query.compile import CompiledQuery, compile_plan
 from repro.query.optimizer import optimize
 from repro.query.plan import LogicalNode, LogicalPlan, source
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import Store
 
 
 @dataclass
@@ -107,6 +110,7 @@ class Dataset:
         name: str = "dataset",
         _node: LogicalNode | None = None,
         _budget_dollars: float | None = None,
+        _store: "Store | None" = None,
     ) -> None:
         if _node is None:
             if items is None:
@@ -115,11 +119,15 @@ class Dataset:
         self._node = _node
         self._name = name
         self._budget_dollars = _budget_dollars
+        self._store = _store
 
     def _extend(self, op: str, params: dict[str, Any], *extra_inputs: LogicalNode) -> "Dataset":
         node = LogicalNode(op=op, params=params, inputs=(self._node, *extra_inputs))
         return Dataset(
-            name=self._name, _node=node, _budget_dollars=self._budget_dollars
+            name=self._name,
+            _node=node,
+            _budget_dollars=self._budget_dollars,
+            _store=self._store,
         )
 
     @staticmethod
@@ -335,7 +343,28 @@ class Dataset:
         """Cap the whole query's spend (enforced as a pipeline-level lease)."""
         if dollars < 0:
             raise SpecError("budget_dollars must be non-negative")
-        return Dataset(name=self._name, _node=self._node, _budget_dollars=dollars)
+        return Dataset(
+            name=self._name,
+            _node=self._node,
+            _budget_dollars=dollars,
+            _store=self._store,
+        )
+
+    def with_store(self, store: "Store") -> "Dataset":
+        """Attach a durable :class:`~repro.store.Store` to this query.
+
+        ``.run`` then executes checkpointed: each step's result persists as
+        it completes, a re-run (same or later process) restores finished
+        steps with zero LLM calls, and editing part of the chain re-executes
+        only the changed subtree.  The session's workload profile is saved
+        to the store after the run.
+        """
+        return Dataset(
+            name=self._name,
+            _node=self._node,
+            _budget_dollars=self._budget_dollars,
+            _store=store,
+        )
 
     # -- plan access -----------------------------------------------------------------
 
@@ -398,6 +427,7 @@ class Dataset:
         *,
         optimized: bool = True,
         max_concurrency: int | None = None,
+        store: "Store | None" = None,
     ) -> QueryResult:
         """Compile the query and execute it on the DAG pipeline engine.
 
@@ -407,13 +437,39 @@ class Dataset:
             optimized: run the optimizer before compiling (default); pass
                 ``False`` to execute the naive authored chain.
             max_concurrency: scheduler pool size for independent steps.
+            store: durable store for checkpoint/resume; defaults to the one
+                attached via :meth:`with_store` (or the session's own).
         """
         engine = _as_engine(engine)
+        if store is None:
+            store = self._store
+        if store is None:
+            store = getattr(engine.session, "store", None)
         compiled = self.compile(optimized=optimized, planner=engine.planner())
         report = engine.run_pipeline(
-            compiled.spec, quote=compiled.quote, max_concurrency=max_concurrency
+            compiled.spec,
+            quote=compiled.quote,
+            max_concurrency=max_concurrency,
+            store=store,
         )
         items = self._final_items(compiled, report)
+        # Close the feedback loop for rewrites the engine cannot see from
+        # inside a step: proxy-resolve dedup survivor ratios and observed
+        # blocked-pair rates (the next quote prices blocking from these).
+        # Checkpoint-restored steps are excluded — their evidence was
+        # recorded by the run that produced them.
+        compiled.record_feedback(
+            report.results,
+            engine.session.stats,
+            frozenset(report.restored_steps),
+        )
+        if store is not None:
+            # The feedback above landed after run_pipeline's autosave;
+            # refresh the stored profile so it carries the full picture.
+            store.save_profile(
+                engine.session.stats,
+                merge=store is not getattr(engine.session, "store", None),
+            )
         return QueryResult(
             items=items,
             report=report,

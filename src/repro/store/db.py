@@ -1,0 +1,261 @@
+"""The SQLite substrate of the durable store.
+
+One :class:`StoreDB` wraps one database file holding every persistent
+artifact of the library — cached LLM responses, workload profiles, and
+pipeline checkpoints — so a single ``store.db`` path is the whole durable
+state of a deployment.  SQLite is the right substrate here: it ships with
+CPython (no new dependency), WAL mode gives concurrent readers alongside a
+single writer, and a ``busy_timeout`` makes multi-process access degrade to
+short waits instead of errors.
+
+Robustness rules (exercised by ``tests/store/test_db_edge_cases.py``):
+
+* **Empty file** — a zero-byte file is a valid "fresh" SQLite database; it
+  is initialised in place.
+* **Corrupt file** — garbage that SQLite refuses to open is moved aside to
+  ``<path>.corrupt-N`` (never deleted: it may be a user's mis-pathed file)
+  and a fresh database is created at the original path.
+* **Foreign database** — a *valid* SQLite file that carries someone else's
+  schema (wrong ``application_id``) raises :class:`StoreError` instead of
+  being clobbered; unlike a corrupt blob, it is clearly live data.
+* **Schema versions** — a database written by a *newer* library raises
+  :class:`StoreError` (we cannot know how to read it); an *older* schema is
+  rebuilt from scratch, which is safe because everything in the store is
+  derived data (caches, observations, checkpoints) that a re-run recreates.
+
+All access goes through :meth:`StoreDB.execute` under one re-entrant lock,
+so a single :class:`StoreDB` can be shared by every thread of a concurrent
+pipeline; cross-process writers are serialised by SQLite itself (WAL +
+immediate transactions + busy timeout).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Any, Iterable
+
+from repro.exceptions import StoreError
+
+#: "repro declarative store" marker stamped into the SQLite application_id
+#: pragma so a foreign database file is recognised before it is touched.
+APPLICATION_ID = 0x5250_5253  # spells "RPRS"
+
+#: Bump whenever the table layout changes.  Older stores are rebuilt (their
+#: contents are all derived data); newer stores are refused.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cache (
+    key TEXT PRIMARY KEY,
+    model TEXT NOT NULL,
+    prompt TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    size INTEGER NOT NULL,
+    access_seq INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS cache_access ON cache (access_seq);
+CREATE TABLE IF NOT EXISTS profiles (
+    name TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    updated_seq INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    fingerprint TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    spec_type TEXT NOT NULL,
+    strategy TEXT NOT NULL,
+    calls INTEGER NOT NULL,
+    cost REAL NOT NULL,
+    access_seq INTEGER NOT NULL
+);
+"""
+
+#: Tables dropped when an older schema is rebuilt.
+_TABLES = ("meta", "cache", "profiles", "checkpoints")
+
+
+class StoreDB:
+    """A thread-safe handle on one store database file.
+
+    Args:
+        path: database file path; ``":memory:"`` gives an ephemeral store
+            (useful in tests — it behaves identically minus durability).
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self._lock = threading.RLock()
+        self._conn = self._open()
+
+    # -- connection management ---------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        # autocommit mode: transactions are explicit (BEGIN IMMEDIATE), so a
+        # multi-statement update is atomic and takes the write lock up front.
+        conn = sqlite3.connect(self.path, check_same_thread=False, isolation_level=None)
+        conn.execute("PRAGMA busy_timeout = 10000")
+        return conn
+
+    def _open(self) -> sqlite3.Connection:
+        conn: sqlite3.Connection | None = None
+        try:
+            conn = self._connect()
+            application_id = conn.execute("PRAGMA application_id").fetchone()[0]
+        except sqlite3.DatabaseError:
+            # Not a SQLite file at all: move the blob aside (never delete —
+            # it might be a mis-pathed user file) and start fresh.  The
+            # failed connection must be closed first — renaming a file a
+            # handle is still open on fails on Windows.
+            if conn is not None:
+                conn.close()
+            self._move_corrupt_aside()
+            conn = self._connect()
+            application_id = 0
+        if application_id not in (0, APPLICATION_ID):
+            conn.close()
+            raise StoreError(
+                f"{self.path!r} is a SQLite database belonging to another "
+                f"application (application_id {application_id:#x}); refusing to "
+                "overwrite it — point the store at its own file"
+            )
+        if application_id == 0 and self._has_foreign_tables(conn):
+            conn.close()
+            raise StoreError(
+                f"{self.path!r} is a SQLite database with an unrecognised "
+                "schema; refusing to overwrite it — point the store at its "
+                "own file"
+            )
+        version = self._read_schema_version(conn)
+        if version is not None and version > SCHEMA_VERSION:
+            conn.close()
+            raise StoreError(
+                f"store {self.path!r} uses schema version {version}, newer than "
+                f"this library's {SCHEMA_VERSION}; upgrade the library (the "
+                "store is not forward-compatible)"
+            )
+        if version is not None and version < SCHEMA_VERSION:
+            # Everything in the store is derived data; a layout change simply
+            # invalidates it.  Rebuild rather than attempt a migration.
+            for table in _TABLES:
+                conn.execute(f"DROP TABLE IF EXISTS {table}")
+        self._initialize(conn)
+        return conn
+
+    def _move_corrupt_aside(self) -> None:
+        suffix = 0
+        while True:
+            candidate = f"{self.path}.corrupt-{suffix}"
+            if not os.path.exists(candidate):
+                break
+            suffix += 1
+        os.replace(self.path, candidate)
+
+    @staticmethod
+    def _has_foreign_tables(conn: sqlite3.Connection) -> bool:
+        names = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        return bool(names - set(_TABLES))
+
+    @staticmethod
+    def _read_schema_version(conn: sqlite3.Connection) -> int | None:
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        if "meta" not in tables:
+            return None
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0]) if row is not None else None
+
+    def _initialize(self, conn: sqlite3.Connection) -> None:
+        conn.execute("PRAGMA journal_mode = WAL")
+        conn.execute("PRAGMA synchronous = NORMAL")
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            # executescript() would implicitly COMMIT the open transaction,
+            # so the schema runs statement by statement.
+            for statement in _SCHEMA.split(";"):
+                if statement.strip():
+                    conn.execute(statement)
+            conn.execute(f"PRAGMA application_id = {APPLICATION_ID}")
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    # -- access -------------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Iterable[Any] = ()) -> list[tuple]:
+        """Run one statement under the store lock and return its rows."""
+        with self._lock:
+            return self._conn.execute(sql, tuple(parameters)).fetchall()
+
+    def transaction(self, statements: Iterable[tuple[str, Iterable[Any]]]) -> None:
+        """Run several statements atomically (one immediate transaction)."""
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                for sql, parameters in statements:
+                    self._conn.execute(sql, tuple(parameters))
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def next_seq(self) -> int:
+        """A monotonically increasing ordinal (LRU ordering without clocks).
+
+        Sequence numbers order cache/checkpoint recency deterministically —
+        wall-clock timestamps would make eviction order depend on timer
+        resolution and clock adjustments.  The counter lives in ``meta`` so
+        it survives reopening and is shared across processes.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT value FROM meta WHERE key = 'seq'"
+                ).fetchone()
+                value = int(row[0]) + 1 if row is not None else 1
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('seq', ?)",
+                    (str(value),),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            return value
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The store-wide lock (for callers composing multi-step operations)."""
+        return self._lock
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "StoreDB":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,232 @@
+"""The :class:`Store` facade: one file, all of the library's durable state.
+
+A store bundles the three persistence concerns behind one handle:
+
+* **Response cache** — :meth:`Store.response_cache` returns the durable
+  drop-in for the in-memory cache (see
+  :mod:`repro.store.response_cache`); a
+  :class:`~repro.core.session.PromptSession` built with ``store=`` uses it
+  automatically.
+* **Workload profiles** — :meth:`Store.save_profile` /
+  :meth:`Store.apply_profile` persist a session's
+  :class:`~repro.core.physical.RuntimeStats` and merge them (decay-weighted)
+  into the next session's fresh stats.
+* **Pipeline checkpoints** — :meth:`Store.save_checkpoint` /
+  :meth:`Store.load_checkpoint` keyed by the content fingerprints of
+  :mod:`repro.store.fingerprint`; ``engine.run_pipeline(..., store=...)``
+  uses them to skip any step whose concrete spec already ran.
+
+Everything shares one SQLite file (see :mod:`repro.store.db` for the
+corruption/versioning rules), so "make this deployment durable" is a single
+``Store("repro-store.db")`` handed to the session or the engine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.core.spec import TaskSpec
+from repro.operators.base import OperatorResult
+from repro.store.checkpoint import decode_result, encode_result
+from repro.store.db import StoreDB
+from repro.store.profile import DEFAULT_DECAY, WorkloadProfile
+from repro.store.response_cache import PersistentResponseCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.physical import RuntimeStats
+
+
+class Store:
+    """A durable store shared by sessions, engines, and queries.
+
+    Args:
+        path: SQLite file backing the store (``":memory:"`` for ephemeral).
+        max_cache_entries: LRU entry cap of the response cache.
+        max_cache_bytes: optional LRU byte cap of the response cache.
+        max_checkpoints: LRU cap on retained step checkpoints.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        max_cache_entries: int = 100_000,
+        max_cache_bytes: int | None = None,
+        max_checkpoints: int = 10_000,
+    ) -> None:
+        if max_checkpoints <= 0:
+            raise ValueError("max_checkpoints must be positive")
+        self.db = StoreDB(path)
+        self.max_checkpoints = max_checkpoints
+        self.max_cache_entries = max_cache_entries
+        self.max_cache_bytes = max_cache_bytes
+        self._cache = self.response_cache()
+
+    @property
+    def path(self) -> str:
+        return self.db.path
+
+    # -- response cache -----------------------------------------------------------
+
+    def response_cache(self) -> PersistentResponseCache:
+        """A durable response cache view (drop-in for ``ResponseCache``).
+
+        Every call returns a *new* instance: the entries are shared (they
+        live in the database), but hit/miss counters are per instance, so
+        each :class:`~repro.core.session.PromptSession` built on this store
+        reports its own hit rate — matching the semantics of handing every
+        session a fresh in-memory cache.
+        """
+        return PersistentResponseCache(
+            self.db, max_entries=self.max_cache_entries, max_bytes=self.max_cache_bytes
+        )
+
+    # -- workload profiles --------------------------------------------------------
+
+    def save_profile(
+        self,
+        stats: "RuntimeStats",
+        *,
+        name: str = "default",
+        merge: bool = False,
+        decay: float = DEFAULT_DECAY,
+    ) -> None:
+        """Persist a snapshot of ``stats`` under ``name``.
+
+        By default the saved profile is *replaced* — correct for a session
+        that loaded this store's profile at construction, whose stats
+        therefore already contain the decayed history.  Pass ``merge=True``
+        when ``stats`` did **not** start from this store's profile (an
+        explicit ``store=`` argument on a session built without one): the
+        existing saved history is decay-merged underneath first, exactly as
+        a seeded session would have carried it, instead of being silently
+        overwritten by one run's observations.
+        """
+        if merge:
+            from repro.core.physical import RuntimeStats
+
+            combined = RuntimeStats()
+            self.apply_profile(combined, name=name, decay=decay)
+            combined.merge_state(stats.export_state())
+            stats = combined
+        profile = WorkloadProfile.from_stats(stats)
+        self.db.execute(
+            "INSERT OR REPLACE INTO profiles (name, payload, updated_seq) "
+            "VALUES (?, ?, ?)",
+            (name, profile.to_json(), self.db.next_seq()),
+        )
+
+    def load_profile(self, *, name: str = "default") -> WorkloadProfile | None:
+        """The saved profile, or ``None`` when none exists yet."""
+        rows = self.db.execute("SELECT payload FROM profiles WHERE name = ?", (name,))
+        if not rows:
+            return None
+        return WorkloadProfile.from_json(rows[0][0])
+
+    def apply_profile(
+        self,
+        stats: "RuntimeStats",
+        *,
+        name: str = "default",
+        decay: float = DEFAULT_DECAY,
+    ) -> bool:
+        """Merge the saved profile into ``stats`` (decay-weighted).
+
+        Returns whether a profile existed.  Sessions built with ``store=``
+        call this on construction, so their first quote is priced from the
+        previous run's observations.
+        """
+        profile = self.load_profile(name=name)
+        if profile is None:
+            return False
+        profile.apply_to(stats, decay=decay)
+        return True
+
+    # -- pipeline checkpoints -----------------------------------------------------
+
+    def save_checkpoint(
+        self, fingerprint: str, spec: TaskSpec, result: OperatorResult
+    ) -> None:
+        """Persist one completed step's result under its content fingerprint.
+
+        The strategy that actually executed is recorded for observability
+        (it is deliberately *not* part of the fingerprint — see
+        :mod:`repro.store.fingerprint`).
+        """
+        payload = encode_result(result)
+        self.db.execute(
+            "INSERT OR REPLACE INTO checkpoints "
+            "(fingerprint, payload, spec_type, strategy, calls, cost, access_seq) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                fingerprint,
+                payload,
+                type(spec).__name__,
+                result.strategy,
+                result.usage.calls,
+                result.cost,
+                self.db.next_seq(),
+            ),
+        )
+        self._evict_checkpoints()
+
+    def load_checkpoint(self, fingerprint: str) -> OperatorResult | None:
+        """The stored result for ``fingerprint``, or ``None`` (a miss)."""
+        with self.db.lock:
+            rows = self.db.execute(
+                "SELECT payload FROM checkpoints WHERE fingerprint = ?", (fingerprint,)
+            )
+            if not rows:
+                return None
+            result = decode_result(rows[0][0])
+            if result is None:
+                # Unreadable (newer version / unknown type): drop the row so
+                # the slot is reclaimed, and report a miss.
+                self.db.execute(
+                    "DELETE FROM checkpoints WHERE fingerprint = ?", (fingerprint,)
+                )
+                return None
+            self.db.execute(
+                "UPDATE checkpoints SET access_seq = ? WHERE fingerprint = ?",
+                (self.db.next_seq(), fingerprint),
+            )
+            result.metadata["checkpoint_hit"] = True
+            return result
+
+    def _evict_checkpoints(self) -> None:
+        rows = self.db.execute("SELECT COUNT(*) FROM checkpoints")
+        over = max(0, int(rows[0][0]) - self.max_checkpoints)
+        if over:
+            self.db.execute(
+                "DELETE FROM checkpoints WHERE fingerprint IN "
+                "(SELECT fingerprint FROM checkpoints ORDER BY access_seq ASC LIMIT ?)",
+                (over,),
+            )
+
+    def checkpoint_count(self) -> int:
+        return int(self.db.execute("SELECT COUNT(*) FROM checkpoints")[0][0])
+
+    def clear_checkpoints(self) -> None:
+        self.db.execute("DELETE FROM checkpoints")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Debug view of the store's contents."""
+        profiles = [row[0] for row in self.db.execute("SELECT name FROM profiles")]
+        return {
+            "path": self.path,
+            "cache": self._cache.snapshot(),
+            "profiles": sorted(profiles),
+            "checkpoints": self.checkpoint_count(),
+        }
+
+    def close(self) -> None:
+        self.db.close()
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

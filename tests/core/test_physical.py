@@ -472,3 +472,188 @@ class TestPhysicalPipelinePlan:
         engine = clean_engine(oracle)
         assert engine.physical.stats is engine.session.stats
         assert engine.planner().stats is engine.session.stats
+
+
+def _predicate_engine(seed: int = 61) -> DeclarativeEngine:
+    from repro.llm.oracle import Oracle
+
+    animals = ("cat", "dog", "elephant", "geese", "horse")
+    oracle = Oracle()
+    oracle.register_predicate(
+        "mentions an animal", lambda item: any(animal in item for animal in animals)
+    )
+    oracle.register_categories(
+        {
+            item: ("animal" if any(animal in item for animal in animals) else "other")
+            for item in _ANIMAL_ITEMS
+        }
+    )
+    return DeclarativeEngine(SimulatedLLM(oracle, seed=seed))
+
+
+_ANIMAL_ITEMS = [
+    "the cat sat on the mat",
+    "stock markets rallied today",
+    "a dog barked all night",
+    "the committee approved the budget",
+    "elephants migrate across the savanna",
+    "the recipe needs two cups of flour",
+    "a flock of geese flew south",
+    "the printer is out of toner",
+    "wild horses roam the plains",
+    "quarterly earnings beat expectations",
+]
+
+_FILTER_LABELS = {
+    _ANIMAL_ITEMS[0]: True,
+    _ANIMAL_ITEMS[1]: False,
+    _ANIMAL_ITEMS[2]: True,
+    _ANIMAL_ITEMS[3]: False,
+    _ANIMAL_ITEMS[4]: True,
+}
+
+_CATEGORY_LABELS = {
+    _ANIMAL_ITEMS[0]: "animal",
+    _ANIMAL_ITEMS[1]: "other",
+    _ANIMAL_ITEMS[2]: "animal",
+    _ANIMAL_ITEMS[3]: "other",
+    _ANIMAL_ITEMS[4]: "animal",
+}
+
+
+class TestFilterCategorizeValidationSelection:
+    """validation_labels on FilterSpec/CategorizeSpec drive ensemble choice."""
+
+    def test_labelled_filter_resolves_by_validation(self):
+        engine = _predicate_engine()
+        spec = FilterSpec(
+            items=_ANIMAL_ITEMS,
+            predicate="mentions an animal",
+            validation_labels=_FILTER_LABELS,
+        )
+        resolved = engine.physical.resolve(spec)
+        assert resolved.decided_by == "validation"
+        assert resolved.strategy in {"per_item", "ensemble_vote", "adaptive"}
+        if resolved.strategy != "per_item":
+            assert len(resolved.options["models"]) >= 2
+
+    def test_labelled_filter_executes_end_to_end(self):
+        engine = _predicate_engine()
+        spec = FilterSpec(
+            items=_ANIMAL_ITEMS,
+            predicate="mentions an animal",
+            validation_labels=_FILTER_LABELS,
+        )
+        result = engine.filter(spec)
+        assert set(result.kept) <= set(_ANIMAL_ITEMS)
+        assert result.usage.calls > 0
+
+    def test_labelled_categorize_resolves_by_validation(self):
+        engine = _predicate_engine()
+        spec = CategorizeSpec(
+            items=_ANIMAL_ITEMS,
+            categories=("animal", "other"),
+            validation_labels=_CATEGORY_LABELS,
+        )
+        resolved = engine.physical.resolve(spec)
+        assert resolved.decided_by == "validation"
+        assert resolved.strategy in {"per_item", "self_consistency", "ensemble_vote"}
+        result = engine.categorize(spec)
+        assert set(result.assignments.values()) <= {"animal", "other"}
+
+    def test_small_label_sample_falls_back_to_cost(self):
+        engine = _predicate_engine()
+        spec = FilterSpec(
+            items=_ANIMAL_ITEMS,
+            predicate="mentions an animal",
+            validation_labels={_ANIMAL_ITEMS[0]: True},  # below the minimum of 5
+        )
+        resolved = engine.physical.resolve(spec)
+        assert resolved.decided_by == "cost"
+        assert resolved.strategy == "per_item"
+
+    def test_explicit_models_option_wins_over_registry_default(self):
+        engine = _predicate_engine()
+        spec = FilterSpec(
+            items=_ANIMAL_ITEMS,
+            predicate="mentions an animal",
+            validation_labels=_FILTER_LABELS,
+            strategy_options={"models": ["sim-gpt-3.5-turbo", "sim-claude"]},
+        )
+        assert engine.physical._ensemble_models(spec) == [
+            "sim-gpt-3.5-turbo",
+            "sim-claude",
+        ]
+
+    def test_labelled_specs_are_deferred_in_physical_plans(self):
+        engine = _predicate_engine()
+        pipeline = PipelineSpec(
+            name="deferred",
+            steps=[
+                PipelineStep(
+                    name="screen",
+                    task=FilterSpec(
+                        items=_ANIMAL_ITEMS,
+                        predicate="mentions an animal",
+                        validation_labels=_FILTER_LABELS,
+                    ),
+                )
+            ],
+        )
+        plan = engine.plan_physical(pipeline)
+        assert plan.deferred == ("screen",)
+        assert engine.session.tracker.usage.calls == 0  # planning spends nothing
+
+    def test_validation_label_consistency_is_enforced(self):
+        with pytest.raises(Exception, match="not present"):
+            FilterSpec(
+                items=("a", "b"), predicate="p", validation_labels={"zz": True}
+            ).validate()
+        with pytest.raises(Exception, match="not present"):
+            CategorizeSpec(
+                items=("a", "b"),
+                categories=("x", "y"),
+                validation_labels={"zz": "x"},
+            ).validate()
+        with pytest.raises(Exception, match="outside the category set"):
+            CategorizeSpec(
+                items=("a", "b"),
+                categories=("x", "y"),
+                validation_labels={"a": "nope"},
+            ).validate()
+
+
+class TestBlockedPairRateQuotes:
+    """The blocked-pair quote uses the observed mutual-neighbor rate."""
+
+    def test_blocked_pairwise_estimate_shrinks_with_observed_rate(self):
+        records = [f"record number {index} with some text" for index in range(20)]
+        spec = ResolveSpec(records=records, strategy="blocked_pairwise")
+        structural = CostPlanner(MODEL_NAME).estimate_spec(spec)
+        stats = RuntimeStats()
+        stats.record_blocked_pairs(candidates=60, upper_bound=100)
+        adaptive = CostPlanner(MODEL_NAME, stats=stats).estimate_spec(spec)
+        assert structural.calls == 20 * 5  # the k*n upper bound
+        assert adaptive.calls == round(structural.calls * 0.6)
+        assert adaptive.dollars < structural.dollars
+
+    def test_rate_correction_suppresses_double_counting_by_call_ratio(self):
+        records = [f"record number {index} with some text" for index in range(20)]
+        spec = ResolveSpec(records=records, strategy="blocked_pairwise")
+        stats = RuntimeStats()
+        stats.record_blocked_pairs(candidates=60, upper_bound=100)
+        # A recorded call ratio for the same label must NOT stack on top of
+        # the blocked-pair correction (it encodes the same shrinkage).
+        stats.record_calls("resolve:blocked_pairwise", estimated=100, actual=60)
+        adaptive = CostPlanner(MODEL_NAME, stats=stats).estimate_spec(spec)
+        assert adaptive.calls == round(20 * 5 * 0.6)
+
+    def test_other_strategies_unaffected_by_blocked_rate(self):
+        records = [f"record number {index} with some text" for index in range(10)]
+        spec = ResolveSpec(records=records, strategy="pairwise")
+        stats = RuntimeStats()
+        stats.record_blocked_pairs(candidates=10, upper_bound=100)
+        assert (
+            CostPlanner(MODEL_NAME, stats=stats).estimate_spec(spec).calls
+            == CostPlanner(MODEL_NAME).estimate_spec(spec).calls
+        )
