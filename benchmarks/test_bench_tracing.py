@@ -1,0 +1,112 @@
+"""Benchmark — tracing overhead, latency percentiles, and cache-aware quotes.
+
+Two properties of the observability layer (ISSUE 6):
+
+* recording and querying the latency reservoir is cheap enough to sit on
+  the per-call hot path — the tracer must never dominate a pipeline whose
+  unit of work is an LLM round-trip;
+* the cache-aware quote closes the gap between quoted and observed spend:
+  after a run has warmed the session cache, a second ``.quote()`` of the
+  same query discounts its dollars by the observed hit-rate, so the quote
+  error against the (all-hits, zero-dollar) warm execution shrinks.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.core.physical import RuntimeStats
+from repro.query import Dataset
+from repro.trace import Tracer
+from tests.query.support import clean_engine, product_corpus
+
+N_ENTITIES = 10
+VARIANTS = 2
+
+
+def test_latency_percentile_query_performance(benchmark):
+    """Percentile queries over a full reservoir stay microsecond-scale."""
+    stats = RuntimeStats()
+    labels = ["filter:per_item", "sort:pairwise", "resolve:pairwise"]
+    for label in labels:
+        for i in range(RuntimeStats.LATENCY_SAMPLE_CAP):
+            stats.record_latency(label, float(i % 250))
+
+    def query_percentiles():
+        return [
+            (stats.latency_p50(label), stats.latency_p95(label)) for label in labels
+        ]
+
+    percentiles = benchmark(query_percentiles)
+
+    rows = [
+        [label, f"{p50:.1f}", f"{p95:.1f}"]
+        for label, (p50, p95) in zip(labels, percentiles)
+    ]
+    print_table("Latency percentiles per strategy label", ["label", "p50 ms", "p95 ms"], rows)
+    for p50, p95 in percentiles:
+        assert p50 is not None and p95 is not None
+        assert p50 <= p95
+
+
+def test_tracer_record_throughput(benchmark):
+    """Appending to the ring buffer is far cheaper than any LLM call."""
+    tracer = Tracer(capacity=4096)
+
+    def record_one_thousand():
+        for i in range(1000):
+            tracer.record(model="m", prompt=f"p{i}", duration_ms=1.0)
+
+    benchmark(record_one_thousand)
+    assert len(tracer) <= 4096
+    assert tracer.records()[-1].call_id == len(tracer) + tracer.dropped - 1
+
+
+def test_second_quote_prices_cache_hits_below_full_cost(benchmark):
+    """After a cached run, quoted dollars drop toward the observed spend."""
+    items, oracle = product_corpus(n_entities=N_ENTITIES, variants=VARIANTS)
+    engine = clean_engine(oracle)
+    query = (
+        Dataset(items, name="tracing-bench")
+        .filter("keeps everything", expected_selectivity=1.0)
+        .resolve()
+    )
+
+    cold_quote = query.quote(optimized=False, planner=engine.planner())
+    query.run(engine, optimized=False)  # cold execution, populates the cache
+    warm_run = query.run(engine, optimized=False)  # answered by the cache
+    observed_spend = warm_run.total_cost
+
+    def warm_quote_fn():
+        return query.quote(optimized=False, planner=engine.planner())
+
+    warm_quote = benchmark.pedantic(warm_quote_fn, rounds=1, iterations=1)
+
+    cold_error = abs(cold_quote.total_dollars - observed_spend)
+    warm_error = abs(warm_quote.total_dollars - observed_spend)
+    print_table(
+        "Cache-aware quoting: dollars vs a fully cached execution",
+        ["quote", "quoted $", "observed warm $", "|error|"],
+        [
+            ["cold (priors)", f"{cold_quote.total_dollars:.6f}", f"{observed_spend:.6f}",
+             f"{cold_error:.6f}"],
+            ["warm (hit-rate discount)", f"{warm_quote.total_dollars:.6f}",
+             f"{observed_spend:.6f}", f"{warm_error:.6f}"],
+        ],
+    )
+
+    # A warm rerun is answered entirely from the session cache, so its
+    # observed spend is zero — and the discounted quote must price the
+    # cached traffic strictly below the full-cost quote while never
+    # reaching zero itself.
+    assert observed_spend == 0.0
+    hit_rate = engine.session.stats.cache_hit_rate()
+    assert hit_rate is not None and hit_rate > 0.0
+    assert 0.0 < warm_quote.total_dollars < cold_quote.total_dollars
+    assert warm_error < cold_error
+
+    # The warm quote also carries the annotation and a wall-clock figure —
+    # the session has measured per-call latencies for every executed label.
+    assert any("cache hit-rate" in note for note in warm_quote.notes)
+    assert not cold_quote.notes
+    assert cold_quote.total_seconds is None
+    assert warm_quote.total_seconds is not None

@@ -41,6 +41,7 @@ from repro.core.spec import (
 from repro.core.workflow import Workflow
 from repro.query import Dataset, LogicalPlan, QueryResult, compile_plan, optimize
 from repro.store import PersistentResponseCache, Store, WorkloadProfile, fingerprint_spec
+from repro.trace import TraceRecord, Tracer, replay_trace, summarize_records, trace_label
 from repro.exceptions import (
     BudgetExceededError,
     ContextLengthExceededError,
@@ -99,6 +100,8 @@ __all__ = [
     "Store",
     "StoreError",
     "TopKSpec",
+    "TraceRecord",
+    "Tracer",
     "UnknownStrategyError",
     "Workflow",
     "WorkloadProfile",
@@ -106,4 +109,7 @@ __all__ = [
     "compile_plan",
     "fingerprint_spec",
     "optimize",
+    "replay_trace",
+    "summarize_records",
+    "trace_label",
 ]

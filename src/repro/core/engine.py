@@ -64,6 +64,7 @@ from repro.operators.sort import SortOperator, SortResult
 from repro.operators.top_k import TopKOperator, TopKResult
 from repro.store.fingerprint import fingerprint_spec
 from repro.tokenizer.cost import Usage
+from repro.trace import trace_label
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import Store
@@ -143,9 +144,10 @@ class DeclarativeEngine:
         operator = SortOperator(
             self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
         )
-        result = operator.run(
-            list(spec.items), strategy=resolved.strategy, **resolved.options
-        )
+        with trace_label(operator=f"sort:{resolved.strategy}"):
+            result = operator.run(
+                list(spec.items), strategy=resolved.strategy, **resolved.options
+            )
         self.physical.record_run(spec, resolved, result)
         return result
 
@@ -165,22 +167,24 @@ class DeclarativeEngine:
         resolved = self._resolve(spec, budget)
         operator = ResolveOperator(self.session.client(budget), **self._operator_kwargs(budget))
         if not spec.pairs:
-            result = operator.resolve(
-                list(spec.records), strategy=resolved.strategy, **resolved.options
-            )
+            with trace_label(operator=f"resolve:{resolved.strategy}"):
+                result = operator.resolve(
+                    list(spec.records), strategy=resolved.strategy, **resolved.options
+                )
             self.physical.record_run(spec, resolved, result)
             self.stats.record_dedup(
                 inputs=len(spec.records), survivors=len(result.clusters)
             )
             return result
         options = dict(resolved.options)
-        result = operator.judge_pairs(
-            list(spec.pairs),
-            strategy=resolved.strategy,
-            corpus=list(spec.records) or None,
-            neighbors_k=options.pop("neighbors_k", spec.neighbors_k),
-            **options,
-        )
+        with trace_label(operator=f"resolve:{resolved.strategy}"):
+            result = operator.judge_pairs(
+                list(spec.pairs),
+                strategy=resolved.strategy,
+                corpus=list(spec.records) or None,
+                neighbors_k=options.pop("neighbors_k", spec.neighbors_k),
+                **options,
+            )
         self.physical.record_run(spec, resolved, result)
         self.stats.record_pair_match(
             judged=len(result.judgments),
@@ -198,9 +202,10 @@ class DeclarativeEngine:
         assert spec.data is not None  # validate() guarantees this
         resolved = self._resolve(spec, budget)
         operator = ImputeOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        result = operator.run(
-            spec.data, strategy=resolved.strategy, n_examples=spec.n_examples
-        )
+        with trace_label(operator=f"impute:{resolved.strategy}"):
+            result = operator.run(
+                spec.data, strategy=resolved.strategy, n_examples=spec.n_examples
+            )
         self.physical.record_run(spec, resolved, result)
         return result
 
@@ -213,26 +218,37 @@ class DeclarativeEngine:
 
         A multi-predicate (fused) spec checks each predicate over the
         survivors of the previous one, so later predicates never spend calls
-        on items an earlier predicate already rejected.  Each predicate's
+        on items an earlier predicate already rejected.  Strategies resolve
+        *per predicate* (see :meth:`PhysicalPlanner.resolve_filter`): with
+        validation labels, a cheap ``per_item`` pass on an easy predicate
+        can precede an ensemble vote on the hard one.  Each predicate's
         observed selectivity is recorded into the session's runtime stats.
         """
         spec.validate()
-        resolved = self._resolve(spec, budget)
-        strategy = resolved.strategy
-        options = resolved.options
+        plans = self.physical.resolve_filter(
+            spec, budget=budget if budget is not None else self.session.budget
+        )
         survivors = [str(item) for item in spec.items]
         usage = Usage()
         cost = 0.0
         votes = 0
         decisions = {item: True for item in survivors}
         result: FilterResult | None = None
-        for predicate in spec.all_predicates:
+        strategies: dict[str, str] = {}
+        executed: list[str] = []
+        for predicate, resolved in plans:
+            strategies[predicate] = resolved.strategy
             if not survivors:
                 break
+            if resolved.strategy not in executed:
+                executed.append(resolved.strategy)
             operator = FilterOperator(
                 self.session.client(budget), predicate, **self._operator_kwargs(budget)
             )
-            result = operator.run(survivors, strategy=strategy, **options)
+            with trace_label(operator=f"filter:{resolved.strategy}"):
+                result = operator.run(
+                    survivors, strategy=resolved.strategy, **resolved.options
+                )
             for item in survivors:
                 decisions[item] = result.decisions.get(item, False)
             self.stats.record_filter(
@@ -243,13 +259,17 @@ class DeclarativeEngine:
             cost += result.cost
             votes += result.votes_used
         merged = FilterResult(
-            strategy=strategy, kept=survivors, decisions=decisions, votes_used=votes
+            strategy="+".join(executed) if executed else plans[0][1].strategy,
+            kept=survivors,
+            decisions=decisions,
+            votes_used=votes,
         )
         merged.usage = usage
         merged.cost = cost
         if result is not None:
             merged.metadata = dict(result.metadata)
         merged.metadata["predicates"] = list(spec.all_predicates)
+        merged.metadata["predicate_strategies"] = strategies
         return merged
 
     # -- categorize ---------------------------------------------------------------
@@ -263,9 +283,10 @@ class DeclarativeEngine:
         operator = CategorizeOperator(
             self.session.client(budget), list(spec.categories), **self._operator_kwargs(budget)
         )
-        result = operator.run(
-            list(spec.items), strategy=resolved.strategy, **resolved.options
-        )
+        with trace_label(operator=f"categorize:{resolved.strategy}"):
+            result = operator.run(
+                list(spec.items), strategy=resolved.strategy, **resolved.options
+            )
         self.physical.record_run(spec, resolved, result)
         return result
 
@@ -280,9 +301,10 @@ class DeclarativeEngine:
         operator = TopKOperator(
             self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
         )
-        result = operator.run(
-            list(spec.items), k=spec.k, strategy=resolved.strategy, **resolved.options
-        )
+        with trace_label(operator=f"top_k:{resolved.strategy}"):
+            result = operator.run(
+                list(spec.items), k=spec.k, strategy=resolved.strategy, **resolved.options
+            )
         self.physical.record_run(spec, resolved, result)
         return result
 
@@ -295,9 +317,10 @@ class DeclarativeEngine:
         spec.validate()
         resolved = self._resolve(spec, budget)
         operator = JoinOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        result = operator.run(
-            list(spec.left), list(spec.right), strategy=resolved.strategy, **resolved.options
-        )
+        with trace_label(operator=f"join:{resolved.strategy}"):
+            result = operator.run(
+                list(spec.left), list(spec.right), strategy=resolved.strategy, **resolved.options
+            )
         self.physical.record_run(spec, resolved, result)
         self.stats.record_join(
             left=len(spec.left),
@@ -314,9 +337,10 @@ class DeclarativeEngine:
         spec.validate()
         resolved = self._resolve(spec, budget)
         operator = ClusterOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        result = operator.run(
-            list(spec.items), strategy=resolved.strategy, **resolved.options
-        )
+        with trace_label(operator=f"cluster:{resolved.strategy}"):
+            result = operator.run(
+                list(spec.items), strategy=resolved.strategy, **resolved.options
+            )
         self.physical.record_run(spec, resolved, result)
         return result
 
@@ -481,7 +505,8 @@ class DeclarativeEngine:
         inputs: Mapping[str, Any],
         lease: BudgetLease | None,
     ) -> Any:
-        return self.run_spec(self._materialize_step_task(step, inputs), budget=lease)
+        with trace_label(step=step.name):
+            return self.run_spec(self._materialize_step_task(step, inputs), budget=lease)
 
     def _run_checkpointed_step(
         self,
@@ -501,6 +526,17 @@ class DeclarativeEngine:
         that cannot be fingerprinted or results without a codec simply
         bypass the store (re-running is always correct).
         """
+        with trace_label(step=step.name):
+            return self._checkpointed_step(store, restored, step, inputs, lease)
+
+    def _checkpointed_step(
+        self,
+        store: "Store",
+        restored: set[str],
+        step: WorkflowStep,
+        inputs: Mapping[str, Any],
+        lease: BudgetLease | None,
+    ) -> Any:
         task = self._materialize_step_task(step, inputs)
         try:
             fingerprint = fingerprint_spec(task)

@@ -25,6 +25,7 @@ Two reliability hooks ride along:
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
@@ -182,7 +183,14 @@ class BatchExecutor:
             return task()
 
         with ThreadPoolExecutor(max_workers=self.max_concurrency) as pool:
-            futures = {pool.submit(guarded, task): index for index, task in enumerate(task_list)}
+            # Each task runs under a fresh copy of the dispatching thread's
+            # context, so ambient state (the trace labels of repro.trace)
+            # survives the hop into the pool.  One copy per task: a single
+            # Context object cannot run in two threads at once.
+            futures = {
+                pool.submit(contextvars.copy_context().run, guarded, task): index
+                for index, task in enumerate(task_list)
+            }
             failed = False
             for future, index in futures.items():
                 try:
@@ -271,8 +279,12 @@ class BatchExecutor:
             pooled.append(index)
         errors: dict[int, BaseException] = {}
         with ThreadPoolExecutor(max_workers=self.max_concurrency) as pool:
+            # Fresh context copy per unit task (see map() for the rationale).
             futures = {
-                pool.submit(self._complete_one, requests[index]): index for index in pooled
+                pool.submit(
+                    contextvars.copy_context().run, self._complete_one, requests[index]
+                ): index
+                for index in pooled
             }
             # Collect in submission order with result() rather than
             # as_completed(): futures cancelled by shutdown(cancel_futures=

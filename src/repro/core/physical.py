@@ -33,6 +33,8 @@ an explicit layer with two halves:
 
 from __future__ import annotations
 
+import itertools
+import math
 import threading
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
@@ -93,6 +95,10 @@ class RuntimeStats:
     fresh session quotes exactly from the static priors.
     """
 
+    #: Per-label latency reservoir bound: enough samples for stable p95
+    #: estimates while keeping exported profiles small.
+    LATENCY_SAMPLE_CAP = 512
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._filter: dict[str, _Ratio] = {}
@@ -103,6 +109,12 @@ class RuntimeStats:
         self._calls: dict[str, _Ratio] = {}
         self._call_counts: dict[str, float] = {}
         self._runs: dict[str, float] = {}
+        # Per-operator/strategy call durations (ms), most recent last; fed by
+        # the session's tracer so quotes can carry wall-clock estimates.
+        self._latency: dict[str, list[float]] = {}
+        # Session-global cache hits over requests, also fed per traced call;
+        # the planner discounts dollar quotes by the observed hit rate.
+        self._cache = _Ratio()
 
     # -- recorders -------------------------------------------------------------------
 
@@ -158,6 +170,30 @@ class RuntimeStats:
                 ratio.numerator += actual
                 ratio.denominator += estimated
 
+    def record_latency(self, label: str, duration_ms: float) -> None:
+        """Record one call's wall-clock duration under a strategy label.
+
+        The session's tracer feeds this for every traced call that carries
+        an operator label, so the reservoir blends live-call and cache-hit
+        durations in their observed proportions — which is exactly the
+        per-call latency a quote should extrapolate from.
+        """
+        if duration_ms < 0:
+            return
+        with self._lock:
+            samples = self._latency.setdefault(label, [])
+            samples.append(float(duration_ms))
+            if len(samples) > self.LATENCY_SAMPLE_CAP:
+                del samples[: len(samples) - self.LATENCY_SAMPLE_CAP]
+
+    def record_cache(self, *, hit: bool, requests: int = 1) -> None:
+        """Record cacheable session traffic: ``requests`` calls, hit or missed."""
+        if requests <= 0:
+            return
+        with self._lock:
+            self._cache.numerator += requests if hit else 0
+            self._cache.denominator += requests
+
     # -- observations ----------------------------------------------------------------
 
     def filter_selectivity(self, predicate: str) -> float | None:
@@ -206,6 +242,40 @@ class RuntimeStats:
         with self._lock:
             return int(round(self._runs.get(label, 0.0)))
 
+    def latency_percentile(self, label: str, quantile: float) -> float | None:
+        """The ``quantile`` (in [0, 1]) of observed call durations, in ms.
+
+        Nearest-rank on the retained reservoir; ``None`` until at least one
+        duration was recorded under ``label``.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ConfigurationError("quantile must be within [0, 1]")
+        with self._lock:
+            samples = self._latency.get(label)
+            if not samples:
+                return None
+            ordered = sorted(samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(quantile * len(ordered)) - 1))
+        return ordered[rank]
+
+    def latency_p50(self, label: str) -> float | None:
+        """Median observed call duration (ms) under a strategy label."""
+        return self.latency_percentile(label, 0.5)
+
+    def latency_p95(self, label: str) -> float | None:
+        """95th-percentile observed call duration (ms) under a strategy label."""
+        return self.latency_percentile(label, 0.95)
+
+    def latency_labels(self) -> list[str]:
+        """Strategy labels with at least one recorded duration."""
+        with self._lock:
+            return sorted(label for label, samples in self._latency.items() if samples)
+
+    def cache_hit_rate(self) -> float | None:
+        """Observed cache-hit fraction of session traffic, or ``None``."""
+        with self._lock:
+            return self._cache.value
+
     @property
     def empty(self) -> bool:
         """Whether nothing has been recorded yet."""
@@ -214,10 +284,12 @@ class RuntimeStats:
                 self._filter
                 or self._calls
                 or self._call_counts
+                or self._latency
                 or self._dedup.denominator
                 or self._pair_match.denominator
                 or self._join.denominator
                 or self._blocked_pairs.denominator
+                or self._cache.denominator
             )
 
     def snapshot(self) -> dict[str, Any]:
@@ -234,6 +306,10 @@ class RuntimeStats:
                 "call_ratio": {label: ratio.value for label, ratio in self._calls.items()},
                 "call_count": {
                     label: int(round(count)) for label, count in self._call_counts.items()
+                },
+                "cache_hit_rate": self._cache.value,
+                "latency_samples": {
+                    label: len(samples) for label, samples in self._latency.items()
                 },
             }
 
@@ -261,6 +337,8 @@ class RuntimeStats:
                 "calls": {label: pair(r) for label, r in self._calls.items()},
                 "call_counts": dict(self._call_counts),
                 "runs": dict(self._runs),
+                "cache": pair(self._cache),
+                "latency": {label: list(samples) for label, samples in self._latency.items()},
             }
 
     def merge_state(self, state: Mapping[str, Any], *, weight: float = 1.0) -> None:
@@ -295,6 +373,20 @@ class RuntimeStats:
                 )
             for label, count in dict(state.get("runs", {})).items():
                 self._runs[label] = self._runs.get(label, 0.0) + float(count) * weight
+            add(self._cache, state.get("cache", (0, 0)))
+            # Latency samples have no numerator/denominator to scale, so
+            # decay keeps a weight-sized share of the *most recent* saved
+            # samples — history fades by shrinking its sample mass, and the
+            # merged reservoir stays bounded.
+            for label, saved in dict(state.get("latency", {})).items():
+                saved = [float(value) for value in saved]
+                keep = int(round(len(saved) * min(1.0, weight)))
+                if keep <= 0:
+                    continue
+                samples = self._latency.setdefault(label, [])
+                samples.extend(saved[-keep:])
+                if len(samples) > self.LATENCY_SAMPLE_CAP:
+                    del samples[: len(samples) - self.LATENCY_SAMPLE_CAP]
 
 
 # -- resolved strategies ---------------------------------------------------------------
@@ -351,11 +443,12 @@ class PhysicalPlan:
         lines = [f"Physical plan: {self.pipeline}"]
         for step in self.steps:
             resolved = step.resolved
-            cost = (
-                f"{resolved.estimate.calls} calls, ${resolved.estimate.dollars:.6f}"
-                if resolved.estimate is not None
-                else "unquoted"
-            )
+            if resolved.estimate is not None:
+                cost = f"{resolved.estimate.calls} calls, ${resolved.estimate.dollars:.6f}"
+                if resolved.estimate.seconds is not None:
+                    cost += f", ~{resolved.estimate.seconds:.1f}s"
+            else:
+                cost = "unquoted"
             lines.append(
                 f"  {step.name}: {resolved.strategy} "
                 f"[{resolved.decided_by}] ({cost})"
@@ -381,6 +474,10 @@ _MIN_CATEGORIZE_VALIDATION = 5
 #: filter/categorize spec asks for validation-driven selection without
 #: naming voter models itself.
 _DEFAULT_ENSEMBLE_SIZE = 3
+
+#: Per-predicate strategy search enumerates candidate^predicate combos;
+#: beyond this many predicates it falls back to one conjunction-level choice.
+_MAX_PER_PREDICATE_SEARCH = 4
 
 
 class PhysicalPlanner:
@@ -903,6 +1000,117 @@ class PhysicalPlanner:
             accuracy_target=spec.accuracy_target,
         )
         return chosen.candidate.name, dict(chosen.candidate.options)
+
+    def resolve_filter(
+        self,
+        spec: FilterSpec,
+        *,
+        budget: "Budget | BudgetLease | None" = None,
+    ) -> list[tuple[str, ResolvedStrategy]]:
+        """Resolve a filter spec to one strategy *per predicate*, in order.
+
+        A fixed strategy, a single-predicate spec, or an ``auto`` spec with
+        no usable validation sample resolves exactly like :meth:`resolve`
+        and applies that one choice to every predicate — unchanged
+        behaviour.  A multi-predicate ``auto`` spec *with* validation
+        labels searches per-predicate strategy combinations instead: the
+        labels score the conjunction, so a cheap ``per_item`` pass on an
+        easy predicate can precede an ensemble vote on the hard one
+        without giving up conjunction-level accuracy.
+        """
+        predicates = list(spec.all_predicates)
+        if spec.strategy != "auto":
+            fixed = ResolvedStrategy(
+                strategy=spec.strategy,
+                options=dict(spec.strategy_options),
+                decided_by="fixed",
+                considered=(spec.strategy,),
+            )
+            return [(predicate, fixed) for predicate in predicates]
+        if (
+            len(predicates) > 1
+            and len(predicates) <= _MAX_PER_PREDICATE_SEARCH
+            and self.would_validate(spec)
+        ):
+            return self._validate_filter_per_predicate(spec, budget)
+        shared = self.resolve(spec, budget=budget)
+        return [(predicate, shared) for predicate in predicates]
+
+    def _validate_filter_per_predicate(
+        self, spec: FilterSpec, budget: "Budget | BudgetLease | None"
+    ) -> list[tuple[str, ResolvedStrategy]]:
+        """Search per-predicate strategy combinations on the labelled sample.
+
+        Each candidate strategy judges each predicate over the *full*
+        sample (not a shrinking survivor set — the search needs every
+        predicate's decision on every item to score arbitrary
+        combinations), then every candidate^predicate combination is
+        scored by the F1 of its AND-ed decisions against the conjunction
+        labels.  With an ``accuracy_target`` the cheapest combination
+        meeting it wins; otherwise the best-scoring one, with measured
+        sample cost as the tie-break so a cheap ``per_item`` pass beats
+        an equally-accurate ensemble.
+        """
+        labels = {str(item): bool(keep) for item, keep in spec.validation_labels.items()}
+        sample = list(labels)
+        truth = [labels[item] for item in sample]
+        models = self._ensemble_models(spec)
+        candidates = [StrategyCandidate(name="per_item", cost_scaling="linear")]
+        if len(models) >= 2:
+            candidates.append(
+                StrategyCandidate(
+                    name="ensemble_vote", options={"models": models}, cost_scaling="linear"
+                )
+            )
+            candidates.append(
+                StrategyCandidate(
+                    name="adaptive", options={"models": models}, cost_scaling="linear"
+                )
+            )
+        predicates = list(spec.all_predicates)
+        considered = tuple(candidate.name for candidate in candidates)
+
+        # decisions/cost of candidate ``c`` judging predicate ``p`` alone.
+        measured: dict[tuple[int, int], tuple[dict[str, bool], float]] = {}
+        for p, predicate in enumerate(predicates):
+            for c, candidate in enumerate(candidates):
+                operator = FilterOperator(
+                    self.session.client(budget), predicate, **self.operator_kwargs(budget)
+                )
+                result = operator.run(sample, strategy=candidate.name, **candidate.options)
+                measured[(p, c)] = (dict(result.decisions), result.cost)
+
+        best_combo: tuple[int, ...] | None = None
+        best_key: tuple[float, float] | None = None
+        target_combo: tuple[int, ...] | None = None
+        target_cost: float | None = None
+        for combo in itertools.product(range(len(candidates)), repeat=len(predicates)):
+            predictions = [
+                all(measured[(p, c)][0].get(item, False) for p, c in enumerate(combo))
+                for item in sample
+            ]
+            score = f1_score(predictions, truth)
+            cost = sum(measured[(p, c)][1] for p, c in enumerate(combo))
+            key = (score, -cost)
+            if best_key is None or key > best_key:
+                best_key, best_combo = key, combo
+            if spec.accuracy_target is not None and score >= spec.accuracy_target:
+                if target_cost is None or cost < target_cost:
+                    target_cost, target_combo = cost, combo
+        chosen = target_combo if target_combo is not None else best_combo
+        assert chosen is not None  # the product is non-empty
+        return [
+            (
+                predicates[p],
+                ResolvedStrategy(
+                    strategy=candidates[c].name,
+                    options=dict(candidates[c].options),
+                    decided_by="validation",
+                    considered=considered,
+                ),
+            )
+            for p, c in enumerate(chosen)
+        ]
 
     def _validate_categorize(
         self, spec: CategorizeSpec, budget: "Budget | BudgetLease | None"

@@ -76,12 +76,16 @@ class CostEstimate:
         calls: predicted number of LLM calls.
         usage: predicted token usage.
         dollars: predicted dollar cost under the planner's model/price table.
+        seconds: predicted wall-clock time (sequential dispatch), from the
+            observed per-call latency of the same strategy label; ``None``
+            until the session has recorded durations for it.
     """
 
     strategy: str
     calls: int
     usage: Usage
     dollars: float
+    seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -98,6 +102,9 @@ class PipelineQuote:
     pipeline: str
     steps: Mapping[str, CostEstimate]
     unquoted: tuple[str, ...] = ()
+    #: Pricing annotations (e.g. the observed cache hit-rate discount), in
+    #: the same "prior -> observed" style the per-step selectivity notes use.
+    notes: tuple[str, ...] = ()
 
     @property
     def total_calls(self) -> int:
@@ -116,6 +123,21 @@ class PipelineQuote:
     def total_dollars(self) -> float:
         """Predicted dollar cost: the sum of the per-step estimates."""
         return sum(estimate.dollars for estimate in self.steps.values())
+
+    @property
+    def total_seconds(self) -> float | None:
+        """Predicted wall-clock total over the steps that carry one.
+
+        ``None`` when no step has a latency-backed estimate yet.  Steps
+        without observed latency contribute nothing — a partial total is
+        a lower bound, which the renderers flag with a ``>=``.
+        """
+        timed = [
+            estimate.seconds
+            for estimate in self.steps.values()
+            if estimate.seconds is not None
+        ]
+        return sum(timed) if timed else None
 
 
 class CostPlanner:
@@ -263,7 +285,8 @@ class CostPlanner:
             )
         if not isinstance(spec, FilterSpec) and not self._blocked_rate_priced(spec):
             estimate = self._apply_call_ratio(estimate)
-        return estimate
+        estimate = self._apply_latency(estimate)
+        return self._apply_cache_discount(estimate)
 
     def _blocked_rate_priced(self, spec: TaskSpec) -> bool:
         """Whether the estimate was already corrected by the blocked-pair rate.
@@ -321,6 +344,66 @@ class CostPlanner:
             completion_tokens=estimate.usage.completion_tokens * ratio,
         )
         return adjusted
+
+    def _stats_label(self, estimate_strategy: str) -> str:
+        """The stats key an estimate's strategy label resolves to.
+
+        Observations are recorded under the strategy that *executed* (never
+        ``"auto"``), so an auto-labelled estimate looks its stats up under
+        the default strategy it was priced at.
+        """
+        operation, _, strategy = estimate_strategy.partition(":")
+        if strategy == "auto":
+            return f"{operation}:{AUTO_DEFAULT_STRATEGY.get(operation, strategy)}"
+        return estimate_strategy
+
+    def _apply_latency(self, estimate: CostEstimate) -> CostEstimate:
+        """Attach a wall-clock prediction from the observed median latency.
+
+        Sequential extrapolation (calls × per-call p50): the planner cannot
+        know the dispatch concurrency a run will use, and the sequential
+        figure is the conservative bound the budget-style comparisons need.
+        The reservoir blends cache-hit and live durations in observed
+        proportions, so a warm workload predicts its own (faster) reality.
+        """
+        if self.stats is None:
+            return estimate
+        p50 = self.stats.latency_p50(self._stats_label(estimate.strategy))
+        if p50 is None:
+            return estimate
+        return replace(estimate, seconds=estimate.calls * p50 / 1000.0)
+
+    def _apply_cache_discount(self, estimate: CostEstimate) -> CostEstimate:
+        """Discount the dollar estimate by the observed cache hit-rate.
+
+        Cache hits are priced at zero by the session (a hit returns a
+        zero-usage response), so the expected dollar spend of a workload
+        whose traffic hits the cache at rate *r* is ``(1 - r)`` of the full
+        quote.  Calls and tokens are left as the *logical* work — budget
+        apportionment and call-count comparisons reason about work items,
+        and the within-run dedup effect is already captured by the observed
+        call ratios.  The observed rate is capped just below 1 so a fully
+        cached history can never quote exactly zero for new work.
+        """
+        if self.stats is None:
+            return estimate
+        rate = self.stats.cache_hit_rate()
+        if rate is None or rate <= 0.0 or estimate.dollars <= 0.0:
+            return estimate
+        rate = min(rate, 0.99)
+        return replace(estimate, dollars=estimate.dollars * (1.0 - rate))
+
+    def cache_discount_note(self) -> str | None:
+        """The "prior -> observed" annotation for an applied cache discount."""
+        if self.stats is None:
+            return None
+        rate = self.stats.cache_hit_rate()
+        if rate is None or rate <= 0.0:
+            return None
+        return (
+            f"cache hit-rate prior 0.00 -> observed {min(rate, 0.99):.2f} "
+            "(dollar estimates discounted)"
+        )
 
     def _observed_selectivity(self, predicate: str, prior: float) -> float:
         """A predicate's observed surviving fraction, or its static prior."""
@@ -551,7 +634,16 @@ class CostPlanner:
                 steps[step.name] = self.estimate_spec(step.task)
             else:
                 unquoted.append(step.name)
-        return PipelineQuote(pipeline=pipeline.name, steps=steps, unquoted=tuple(unquoted))
+        notes: list[str] = []
+        discount = self.cache_discount_note()
+        if discount is not None and steps:
+            notes.append(discount)
+        return PipelineQuote(
+            pipeline=pipeline.name,
+            steps=steps,
+            unquoted=tuple(unquoted),
+            notes=tuple(notes),
+        )
 
     # -- queries --------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ path never loses accounting updates.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -28,6 +29,7 @@ from repro.llm.cache import CachedClient, ResponseCache, ResponseCacheLike
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.llm.tracker import UsageTracker
 from repro.tokenizer.cost import CostModel
+from repro.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import Store
@@ -77,6 +79,11 @@ class SessionClient:
             max_tokens=max_tokens,
             budget=self.budget,
         )
+
+    @property
+    def tracer(self) -> Tracer:
+        """The session's call tracer (retry wrappers annotate through this)."""
+        return self.session.tracer
 
 
 class PromptSession:
@@ -131,6 +138,9 @@ class PromptSession:
         self.stats = RuntimeStats()
         if store is not None:
             store.apply_profile(self.stats, decay=profile_decay)
+        # One structured TraceRecord per call issued through this session;
+        # flushed best-effort into the store's traces table when one exists.
+        self.tracer = Tracer(store=store)
         self._client: LLMClient = CachedClient(client, self.cache) if use_cache else client
         self._raw_client = client
 
@@ -151,12 +161,29 @@ class PromptSession:
         """
         target = budget if budget is not None else self.budget
         model_name = model or self.config.chat_model
-        response = self._client.complete(
-            prompt, model=model_name, temperature=temperature, max_tokens=max_tokens
-        )
+        start = time.perf_counter()
+        try:
+            response = self._client.complete(
+                prompt, model=model_name, temperature=temperature, max_tokens=max_tokens
+            )
+        except Exception as exc:
+            self._trace_failure(
+                prompt,
+                model_name,
+                temperature,
+                (time.perf_counter() - start) * 1000.0,
+                exc,
+            )
+            raise
+        duration_ms = (time.perf_counter() - start) * 1000.0
         self.tracker.record(response)
-        if self.cost_model.has_model(response.model):
-            target.charge(self.cost_model.cost(response.model, response.usage))
+        priced = self.cost_model.has_model(response.model)
+        cost = self.cost_model.cost(response.model, response.usage) if priced else 0.0
+        # Trace before charging: the call happened (and is replayable) even
+        # if charging it is what breaches the budget.
+        self._trace_response(prompt, temperature, response, cost, duration_ms)
+        if priced:
+            target.charge(cost)
         return response
 
     def complete_batch(
@@ -180,27 +207,93 @@ class PromptSession:
         if not target.unlimited and target.remaining <= 0.0:
             raise BudgetExceededError(target.spent, target.limit or 0.0)
         model_name = model or self.config.chat_model
-        responses = call_complete_batch(
-            self._client,
-            list(prompts),
-            model=model_name,
-            temperature=temperature,
-            max_tokens=max_tokens,
-        )
+        request_list = list(prompts)
+        start = time.perf_counter()
+        try:
+            responses = call_complete_batch(
+                self._client,
+                request_list,
+                model=model_name,
+                temperature=temperature,
+                max_tokens=max_tokens,
+            )
+        except Exception as exc:
+            # The batch is one dispatch unit: which prompt failed (and which
+            # succeeded before it) is not observable here, so the failure is
+            # traced as a single batch-level record.
+            self._trace_failure(
+                "", model_name, temperature, (time.perf_counter() - start) * 1000.0, exc
+            )
+            raise
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        share_ms = elapsed_ms / len(responses) if responses else 0.0
         self.tracker.record_batch(responses)
         # Charge every response before surfacing a limit breach: the calls
         # were all made (and tracked), so stopping at the first raise would
         # leave the budget understating real spend.
         charge_error: BudgetExceededError | None = None
-        for response in responses:
-            if self.cost_model.has_model(response.model):
+        for prompt, response in zip(request_list, responses):
+            priced = self.cost_model.has_model(response.model)
+            cost = self.cost_model.cost(response.model, response.usage) if priced else 0.0
+            self._trace_response(prompt, temperature, response, cost, share_ms)
+            if priced:
                 try:
-                    target.charge(self.cost_model.cost(response.model, response.usage))
+                    target.charge(cost)
                 except BudgetExceededError as exc:
                     charge_error = charge_error or exc
         if charge_error is not None:
             raise charge_error
         return responses
+
+    # -- tracing ------------------------------------------------------------------
+
+    def _trace_response(
+        self,
+        prompt: str,
+        temperature: float,
+        response: LLMResponse,
+        cost: float,
+        duration_ms: float,
+    ) -> None:
+        """Record one completed call: trace record plus runtime-stats feed."""
+        cache_hit = bool(response.metadata.get("cache_hit"))
+        record = self.tracer.record(
+            model=response.model,
+            temperature=temperature,
+            prompt=prompt,
+            response_text=response.text,
+            prompt_tokens=response.usage.prompt_tokens,
+            completion_tokens=response.usage.completion_tokens,
+            cost=cost,
+            duration_ms=duration_ms,
+            cache_hit=cache_hit,
+            finish_reason=response.finish_reason,
+            confidence=response.confidence,
+        )
+        # Retry wrappers annotate attempt index / parse outcome by this id.
+        response.metadata["trace_call_id"] = record.call_id
+        self.stats.record_cache(hit=cache_hit)
+        if record.operator:
+            self.stats.record_latency(record.operator, duration_ms)
+
+    def _trace_failure(
+        self,
+        prompt: str,
+        model: str,
+        temperature: float,
+        duration_ms: float,
+        error: BaseException,
+    ) -> None:
+        """Record a call that raised (exception class from the taxonomy)."""
+        record = self.tracer.record(
+            model=model,
+            temperature=temperature,
+            prompt=prompt,
+            duration_ms=duration_ms,
+            error=type(error).__name__,
+        )
+        if record.operator:
+            self.stats.record_latency(record.operator, duration_ms)
 
     def client(self, budget: Budget | BudgetLease | None = None) -> SessionClient:
         """A client view suitable for handing to operators.
@@ -260,6 +353,7 @@ class PromptSession:
         # saved history underneath (this session's stats do not contain it);
         # the session's own store is replaced exactly.
         target.save_profile(self.stats, name=name, merge=target is not self.store)
+        self.tracer.flush()
 
 
 class BudgetScopedSession:

@@ -85,6 +85,15 @@ class StoreError(ReproError):
     """
 
 
+class TraceError(ReproError):
+    """A call trace could not be recorded, loaded, or replayed.
+
+    Raised most prominently by the replay fixture when a replayed run asks
+    for a prompt the recorded trace never answered — the signal that a
+    "zero live calls" replay would have needed a live call.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset is malformed for the requested operation."""
 

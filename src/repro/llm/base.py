@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
+from repro.exceptions import SpecError
 from repro.tokenizer.cost import Usage
 
 
@@ -26,7 +27,7 @@ class ChatMessage:
 
     def __post_init__(self) -> None:
         if self.role not in {"system", "user", "assistant"}:
-            raise ValueError(f"unsupported chat role: {self.role!r}")
+            raise SpecError(f"unsupported chat role: {self.role!r}")
 
 
 @dataclass

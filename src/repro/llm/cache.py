@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+from repro.exceptions import ConfigurationError
 from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
 from repro.tokenizer.cost import Usage
 
@@ -71,7 +72,7 @@ class ResponseCache:
 
     def __init__(self, max_entries: int = 100_000) -> None:
         if max_entries <= 0:
-            raise ValueError("max_entries must be positive")
+            raise ConfigurationError("max_entries must be positive")
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple[str, str], LLMResponse] = OrderedDict()

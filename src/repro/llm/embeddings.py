@@ -15,6 +15,7 @@ import hashlib
 import numpy as np
 
 from repro.config import DEFAULT_EMBEDDING_MODEL
+from repro.exceptions import ConfigurationError
 from repro.tokenizer.cost import Usage
 from repro.tokenizer.simple import SimpleTokenizer
 
@@ -41,9 +42,9 @@ class HashingEmbedder:
         model: str = DEFAULT_EMBEDDING_MODEL,
     ) -> None:
         if dimensions <= 0:
-            raise ValueError("dimensions must be positive")
+            raise ConfigurationError("dimensions must be positive")
         if not ngram_sizes:
-            raise ValueError("ngram_sizes must not be empty")
+            raise ConfigurationError("ngram_sizes must not be empty")
         self.dimensions = dimensions
         self.ngram_sizes = tuple(ngram_sizes)
         self.model = model
@@ -84,7 +85,7 @@ class HashingEmbedder:
         nearest first, excluding the text itself.
         """
         if k < 0:
-            raise ValueError("k must be non-negative")
+            raise ConfigurationError("k must be non-negative")
         matrix = self.embed_batch(texts)
         if len(texts) == 0 or k == 0:
             return {index: [] for index in range(len(texts))}

@@ -15,7 +15,7 @@ import json
 import re
 from typing import Sequence
 
-from repro.exceptions import ResponseParseError
+from repro.exceptions import ResponseParseError, SpecError
 
 _YES_RE = re.compile(r"\byes\b", re.IGNORECASE)
 _NO_RE = re.compile(r"\bno\b", re.IGNORECASE)
@@ -44,7 +44,7 @@ def extract_yes_no(text: str) -> bool:
 def extract_choice(text: str, options: Sequence[str]) -> str:
     """Extract the first matching option label (e.g. ``"A"`` / ``"B"``)."""
     if not options:
-        raise ValueError("options must not be empty")
+        raise SpecError("options must not be empty")
     pattern = re.compile(
         r"\b(" + "|".join(re.escape(option) for option in options) + r")\b"
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.exceptions import UnknownModelError
+from repro.exceptions import ConfigurationError, UnknownModelError
 from repro.tokenizer.cost import CostModel, PriceTable
 
 
@@ -36,11 +36,11 @@ class ModelSpec:
 
     def __post_init__(self) -> None:
         if self.context_length <= 0:
-            raise ValueError("context_length must be positive")
+            raise ConfigurationError("context_length must be positive")
         if not 0.0 <= self.quality <= 1.0:
-            raise ValueError("quality must be within [0, 1]")
+            raise ConfigurationError("quality must be within [0, 1]")
         if self.kind not in {"chat", "embedding"}:
-            raise ValueError(f"unsupported model kind: {self.kind!r}")
+            raise ConfigurationError(f"unsupported model kind: {self.kind!r}")
 
 
 class ModelRegistry:

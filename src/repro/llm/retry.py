@@ -142,7 +142,9 @@ class RetryingClient:
                     prompt, model=model, temperature=attempt_temperature, max_tokens=max_tokens
                 )
             accumulated.add(response.usage)
-            if self._accepted(response.text):
+            accepted = self._accepted(response.text)
+            self._annotate_trace(response, attempt, accepted)
+            if accepted:
                 break
             with self._stats_lock:
                 if attempt < self.max_retries:
@@ -153,3 +155,22 @@ class RetryingClient:
         response.usage = accumulated
         response.metadata = {**response.metadata, "attempts": attempts}
         return response
+
+    def _annotate_trace(
+        self, response: LLMResponse, attempt: int, accepted: bool
+    ) -> None:
+        """Stamp the attempt index and validator outcome onto the call's trace.
+
+        Duck-typed: a session-bound client exposes ``tracer`` and stamps
+        every response with its trace call id; any other wrapped client
+        (a bare simulator, a plain cache) makes this a no-op, so the retry
+        wrapper keeps working outside sessions without importing the trace
+        layer.
+        """
+        tracer = getattr(self._client, "tracer", None)
+        if tracer is None:
+            return
+        call_id = response.metadata.get("trace_call_id")
+        if call_id is None:
+            return
+        tracer.annotate(call_id, attempt=attempt, parse_ok=accepted)

@@ -310,7 +310,12 @@ def compile_plan(
         description="compiled from a fluent Dataset query",
     )
     spec.validate()
-    quote = PipelineQuote(pipeline=plan.name, steps=quoted, unquoted=tuple(unquoted))
+    quote_notes = tuple(
+        note for note in (planner.cache_discount_note(),) if note is not None
+    )
+    quote = PipelineQuote(
+        pipeline=plan.name, steps=quoted, unquoted=tuple(unquoted), notes=quote_notes
+    )
     root = plan.root
 
     proxy_nodes = [

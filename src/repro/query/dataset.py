@@ -513,14 +513,27 @@ def render_explain(compiled: CompiledQuery, *, optimized: bool = True) -> str:
             cost = "         (unquoted)"
         else:
             cost = f"{step.estimate.calls:>5} calls  ${step.estimate.dollars:.6f}"
+            if step.estimate.seconds is not None:
+                cost += f"  ~{step.estimate.seconds:.1f}s"
         lines.append(f"  {step.name:<{name_width}}  {cost}  <- {depends}")
         lines.append(f"  {'':<{name_width}}  {step.description}")
     quote = compiled.quote
-    lines.append(
-        f"Estimated total: {quote.total_calls} calls, ${quote.total_dollars:.6f}"
-    )
+    total = f"Estimated total: {quote.total_calls} calls, ${quote.total_dollars:.6f}"
+    seconds = quote.total_seconds
+    if seconds is not None:
+        # Only latency-observed steps contribute, so the total is a floor
+        # when some steps have no wall-clock estimate yet.
+        qualifier = ">=" if any(
+            estimate.seconds is None for estimate in quote.steps.values()
+        ) else "~"
+        total += f", {qualifier}{seconds:.1f}s"
+    lines.append(total)
     if compiled.spec.budget_dollars is not None:
         lines.append(f"Budget cap: ${compiled.spec.budget_dollars:.6f}")
+    if quote.notes:
+        lines.append("Quote notes:")
+        for note in quote.notes:
+            lines.append(f"  - {note}")
     if compiled.plan.notes:
         lines.append("Optimizer notes:")
         for note in compiled.plan.notes:

@@ -44,7 +44,7 @@ APPLICATION_ID = 0x5250_5253  # spells "RPRS"
 
 #: Bump whenever the table layout changes.  Older stores are rebuilt (their
 #: contents are all derived data); newer stores are refused.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -74,10 +74,32 @@ CREATE TABLE IF NOT EXISTS checkpoints (
     cost REAL NOT NULL,
     access_seq INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS traces (
+    trace_id TEXT PRIMARY KEY,
+    origin TEXT NOT NULL,
+    call_id INTEGER NOT NULL,
+    step TEXT,
+    operator TEXT,
+    model TEXT NOT NULL,
+    temperature REAL NOT NULL,
+    prompt TEXT NOT NULL,
+    response TEXT,
+    prompt_tokens INTEGER NOT NULL,
+    completion_tokens INTEGER NOT NULL,
+    cost REAL NOT NULL,
+    duration_ms REAL NOT NULL,
+    cache_hit INTEGER NOT NULL,
+    attempt INTEGER NOT NULL,
+    parse_ok INTEGER,
+    error TEXT,
+    finish_reason TEXT,
+    confidence REAL
+);
+CREATE INDEX IF NOT EXISTS traces_origin ON traces (origin, call_id);
 """
 
 #: Tables dropped when an older schema is rebuilt.
-_TABLES = ("meta", "cache", "profiles", "checkpoints")
+_TABLES = ("meta", "cache", "profiles", "checkpoints", "traces")
 
 
 class StoreDB:

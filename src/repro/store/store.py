@@ -32,6 +32,7 @@ from repro.store.checkpoint import decode_result, encode_result
 from repro.store.db import StoreDB
 from repro.store.profile import DEFAULT_DECAY, WorkloadProfile
 from repro.store.response_cache import PersistentResponseCache
+from repro.trace import TraceRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.physical import RuntimeStats
@@ -45,6 +46,7 @@ class Store:
         max_cache_entries: LRU entry cap of the response cache.
         max_cache_bytes: optional LRU byte cap of the response cache.
         max_checkpoints: LRU cap on retained step checkpoints.
+        max_trace_records: FIFO cap on retained call-trace rows.
     """
 
     def __init__(
@@ -54,11 +56,15 @@ class Store:
         max_cache_entries: int = 100_000,
         max_cache_bytes: int | None = None,
         max_checkpoints: int = 10_000,
+        max_trace_records: int = 50_000,
     ) -> None:
         if max_checkpoints <= 0:
             raise ValueError("max_checkpoints must be positive")
+        if max_trace_records <= 0:
+            raise ValueError("max_trace_records must be positive")
         self.db = StoreDB(path)
         self.max_checkpoints = max_checkpoints
+        self.max_trace_records = max_trace_records
         self.max_cache_entries = max_cache_entries
         self.max_cache_bytes = max_cache_bytes
         self._cache = self.response_cache()
@@ -210,6 +216,107 @@ class Store:
     def clear_checkpoints(self) -> None:
         self.db.execute("DELETE FROM checkpoints")
 
+    # -- call traces --------------------------------------------------------------
+
+    def save_trace_records(
+        self, records: list[TraceRecord], *, origin: str
+    ) -> None:
+        """Upsert a tracer's records atomically, keyed by ``origin:call_id``.
+
+        The tracer re-sends amended records (retry annotations arrive after
+        the initial write), so rows are replaced, not duplicated.  Oldest
+        rows beyond ``max_trace_records`` are evicted FIFO by insertion
+        order.
+        """
+        if not records:
+            return
+        statements: list[tuple[str, tuple]] = [
+            (
+                "INSERT OR REPLACE INTO traces "
+                "(trace_id, origin, call_id, step, operator, model, temperature, "
+                "prompt, response, prompt_tokens, completion_tokens, cost, "
+                "duration_ms, cache_hit, attempt, parse_ok, error, "
+                "finish_reason, confidence) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    f"{origin}:{record.call_id}",
+                    origin,
+                    record.call_id,
+                    record.step,
+                    record.operator,
+                    record.model,
+                    record.temperature,
+                    record.prompt,
+                    record.response_text,
+                    record.prompt_tokens,
+                    record.completion_tokens,
+                    record.cost,
+                    record.duration_ms,
+                    int(record.cache_hit),
+                    record.attempt,
+                    None if record.parse_ok is None else int(record.parse_ok),
+                    record.error,
+                    record.finish_reason,
+                    record.confidence,
+                ),
+            )
+            for record in records
+        ]
+        self.db.transaction(statements)
+        self._evict_traces()
+
+    def trace_records(self, *, origin: str | None = None) -> list[TraceRecord]:
+        """Stored trace records (optionally one session's), oldest first."""
+        sql = (
+            "SELECT call_id, step, operator, model, temperature, prompt, "
+            "response, prompt_tokens, completion_tokens, cost, duration_ms, "
+            "cache_hit, attempt, parse_ok, error, finish_reason, confidence "
+            "FROM traces"
+        )
+        parameters: tuple = ()
+        if origin is not None:
+            sql += " WHERE origin = ?"
+            parameters = (origin,)
+        sql += " ORDER BY origin, call_id"
+        return [
+            TraceRecord(
+                call_id=int(row[0]),
+                step=row[1],
+                operator=row[2],
+                model=row[3],
+                temperature=float(row[4]),
+                prompt=row[5],
+                response_text=row[6],
+                prompt_tokens=int(row[7]),
+                completion_tokens=int(row[8]),
+                cost=float(row[9]),
+                duration_ms=float(row[10]),
+                cache_hit=bool(row[11]),
+                attempt=int(row[12]),
+                parse_ok=None if row[13] is None else bool(row[13]),
+                error=row[14],
+                finish_reason=row[15],
+                confidence=float(row[16]),
+            )
+            for row in self.db.execute(sql, parameters)
+        ]
+
+    def trace_count(self) -> int:
+        return int(self.db.execute("SELECT COUNT(*) FROM traces")[0][0])
+
+    def clear_traces(self) -> None:
+        self.db.execute("DELETE FROM traces")
+
+    def _evict_traces(self) -> None:
+        rows = self.db.execute("SELECT COUNT(*) FROM traces")
+        over = max(0, int(rows[0][0]) - self.max_trace_records)
+        if over:
+            self.db.execute(
+                "DELETE FROM traces WHERE rowid IN "
+                "(SELECT rowid FROM traces ORDER BY rowid ASC LIMIT ?)",
+                (over,),
+            )
+
     # -- lifecycle ----------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -220,6 +327,7 @@ class Store:
             "cache": self._cache.snapshot(),
             "profiles": sorted(profiles),
             "checkpoints": self.checkpoint_count(),
+            "traces": self.trace_count(),
         }
 
     def close(self) -> None:

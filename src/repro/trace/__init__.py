@@ -1,0 +1,32 @@
+"""Structured call tracing and deterministic trace replay.
+
+See :mod:`repro.trace.tracer` for the ring-buffer :class:`Tracer` every
+:class:`~repro.core.session.PromptSession` carries, and
+:mod:`repro.trace.replay` for rebuilding a recorded run as a zero-live-call
+fixture.
+"""
+
+from repro.trace.replay import ReplayLLM, replay_trace
+from repro.trace.tracer import (
+    DEFAULT_CAPACITY,
+    DEFAULT_FLUSH_EVERY,
+    TraceLabels,
+    TraceRecord,
+    Tracer,
+    current_labels,
+    summarize_records,
+    trace_label,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_FLUSH_EVERY",
+    "ReplayLLM",
+    "TraceLabels",
+    "TraceRecord",
+    "Tracer",
+    "current_labels",
+    "replay_trace",
+    "summarize_records",
+    "trace_label",
+]

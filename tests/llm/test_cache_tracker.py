@@ -19,6 +19,7 @@ from repro.llm.prompts import pairwise_comparison_prompt, rating_prompt
 from repro.llm.registry import default_registry
 from repro.llm.tracker import TrackedClient, UsageTracker
 from repro.tokenizer.cost import Usage
+from repro.exceptions import ConfigurationError
 
 
 class TestResponseCache:
@@ -43,7 +44,7 @@ class TestResponseCache:
         assert cache.get("m", "prompt-2") is not None
 
     def test_invalid_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ResponseCache(max_entries=0)
 
     def test_clear_resets_stats(self):

@@ -50,11 +50,11 @@ class TestHashingEmbedder:
         assert neighbors == {0: [], 1: []}
 
     def test_invalid_parameters(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             HashingEmbedder(dimensions=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             HashingEmbedder(ngram_sizes=())
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             HashingEmbedder().nearest_neighbors(["a"], k=-1)
 
     def test_usage_is_tracked(self):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import ResponseParseError
+from repro.exceptions import ResponseParseError, SpecError
 from repro.llm.parsing import (
     extract_choice,
     extract_groups,
@@ -54,7 +54,7 @@ class TestExtractChoice:
             extract_choice("neither seems right", ["A", "B"])
 
     def test_empty_options_raise(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SpecError):
             extract_choice("anything", [])
 
 

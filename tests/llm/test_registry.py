@@ -7,19 +7,20 @@ import pytest
 from repro.exceptions import UnknownModelError
 from repro.llm.registry import ModelRegistry, ModelSpec, default_registry
 from repro.tokenizer.cost import PriceTable
+from repro.exceptions import ConfigurationError
 
 
 class TestModelSpec:
     def test_invalid_context_length(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ModelSpec(name="x", context_length=0, prices=PriceTable(1, 1))
 
     def test_invalid_quality(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ModelSpec(name="x", context_length=10, prices=PriceTable(1, 1), quality=1.5)
 
     def test_invalid_kind(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ModelSpec(name="x", context_length=10, prices=PriceTable(1, 1), kind="image")
 
 
