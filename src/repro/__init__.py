@@ -24,6 +24,8 @@ Quickstart (the fluent declarative API)::
 
 from repro.core.budget import Budget
 from repro.core.engine import DeclarativeEngine
+from repro.core.executor import AsyncBatchExecutor
+from repro.core.governor import ConcurrencyGovernor, ModelRate
 from repro.core.physical import PhysicalPlanner, RuntimeStats
 from repro.core.session import PromptSession
 from repro.core.spec import (
@@ -45,6 +47,7 @@ from repro.trace import TraceRecord, Tracer, replay_trace, summarize_records, tr
 from repro.exceptions import (
     BudgetExceededError,
     ContextLengthExceededError,
+    RateLimitError,
     ReproError,
     ResponseParseError,
     SpecError,
@@ -65,9 +68,13 @@ from repro.operators import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "AsyncBatchExecutor",
     "Budget",
     "BudgetExceededError",
     "CategorizeSpec",
+    "ConcurrencyGovernor",
+    "ModelRate",
+    "RateLimitError",
     "ClusterOperator",
     "ClusterSpec",
     "ContextLengthExceededError",

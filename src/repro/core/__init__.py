@@ -9,7 +9,19 @@ model, how many unit tasks — and runs it while enforcing the budget.
 from repro.core.budget import Budget, BudgetLease
 from repro.core.dag import topological_waves, transitive_dependencies
 from repro.core.engine import DeclarativeEngine
-from repro.core.executor import BatchExecutor, BatchRequest, TaskOutcome
+from repro.core.executor import (
+    AsyncBatchExecutor,
+    BatchExecutor,
+    BatchRequest,
+    TaskOutcome,
+)
+from repro.core.governor import (
+    ConcurrencyGovernor,
+    GovernorStats,
+    ModelRate,
+    TokenBucket,
+    estimated_prompt_tokens,
+)
 from repro.core.optimizer import StrategyCandidate, StrategyEvaluation, StrategySelector
 from repro.core.physical import (
     PhysicalPlan,
@@ -40,9 +52,15 @@ from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
 from repro.query import Dataset, LogicalPlan, QueryResult, compile_plan, optimize
 
 __all__ = [
+    "AsyncBatchExecutor",
     "BatchExecutor",
     "BatchRequest",
     "Budget",
+    "ConcurrencyGovernor",
+    "GovernorStats",
+    "ModelRate",
+    "TokenBucket",
+    "estimated_prompt_tokens",
     "BudgetLease",
     "BudgetScopedSession",
     "CategorizeSpec",

@@ -30,6 +30,11 @@ class Budget:
     # Charges may arrive from the BatchExecutor's worker threads; the
     # read-modify-write on ``spent`` must not lose updates.
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    # Set on children created by reserve(): which parent holds this child's
+    # reservation, and under what name — absorb() uses them to give the hold
+    # back exactly once.
+    _reservation_parent: "Budget | None" = field(default=None, repr=False, compare=False)
+    _reservation_name: str | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
@@ -41,15 +46,37 @@ class Budget:
         return self.limit is None
 
     @property
+    def reserved(self) -> float:
+        """Dollars currently held by outstanding reservations."""
+        with self._lock:
+            return sum(self._reserved.values())
+
+    @property
     def remaining(self) -> float:
-        """Dollars left before the limit (infinity when unlimited)."""
+        """Dollars left before the limit (infinity when unlimited).
+
+        Outstanding reservations are held out: money promised to a child
+        budget is not available here until the child is absorbed (or
+        released), so two sibling ``reserve`` calls carve their fractions
+        from successively smaller pools instead of double-counting the same
+        dollars.
+        """
         if self.limit is None:
             return float("inf")
-        return max(0.0, self.limit - self.spent)
+        with self._lock:
+            return max(0.0, self.limit - self.spent - sum(self._reserved.values()))
 
     def can_afford(self, amount: float) -> bool:
-        """Whether spending ``amount`` more would stay within the limit."""
-        return self.limit is None or self.spent + amount <= self.limit + 1e-12
+        """Whether spending ``amount`` more would stay within the limit.
+
+        Reserved dollars are spoken for, so they count against affordability
+        exactly like spent ones.
+        """
+        if self.limit is None:
+            return True
+        with self._lock:
+            committed = self.spent + sum(self._reserved.values())
+        return committed + amount <= self.limit + 1e-12
 
     def charge(self, amount: float) -> None:
         """Record a spend of ``amount`` dollars.
@@ -67,17 +94,52 @@ class Budget:
             raise BudgetExceededError(spent, self.limit)
 
     def reserve(self, name: str, fraction: float) -> "Budget":
-        """Carve out a named sub-budget as a fraction of the remaining budget."""
+        """Carve out a named sub-budget as a fraction of the remaining budget.
+
+        The reserved amount is *held*: it leaves :attr:`remaining` (and
+        :meth:`can_afford`) immediately, so sibling reservations split what
+        is genuinely left rather than each carving their fraction from the
+        same pool and jointly over-committing the limit.  The hold is given
+        back when the child is passed to :meth:`absorb` (exchanged for the
+        child's real spend) or dropped via :meth:`release`.  Re-reserving an
+        existing name releases the old hold first — the replacement's size
+        is computed against a pool that no longer contains it — instead of
+        silently leaking the superseded reservation forever.
+        """
         if not 0.0 < fraction <= 1.0:
             raise ConfigurationError("reservation fraction must be in (0, 1]")
         if self.limit is None:
             return Budget(limit=None)
-        amount = self.remaining * fraction
-        self._reserved[name] = amount
-        return Budget(limit=amount)
+        with self._lock:
+            self._reserved.pop(name, None)
+            available = max(0.0, self.limit - self.spent - sum(self._reserved.values()))
+            amount = available * fraction
+            self._reserved[name] = amount
+        child = Budget(limit=amount)
+        child._reservation_parent = self
+        child._reservation_name = name
+        return child
+
+    def release(self, name: str) -> float:
+        """Drop a named reservation, returning the held dollars to the pool.
+
+        Returns the amount released (0.0 for an unknown name — releasing
+        twice is harmless).
+        """
+        with self._lock:
+            return self._reserved.pop(name, 0.0)
 
     def absorb(self, child: "Budget") -> None:
-        """Fold a sub-budget's spending back into this budget."""
+        """Fold a sub-budget's spending back into this budget.
+
+        A child created by :meth:`reserve` gives its hold back first, so the
+        parent is charged the child's *actual* spend instead of paying the
+        spend on top of the still-held reservation.
+        """
+        name = getattr(child, "_reservation_name", None)
+        if name is not None and getattr(child, "_reservation_parent", None) is self:
+            self.release(name)
+            child._reservation_name = None
         self.charge(child.spent)
 
     def lease(self, allocation: float) -> "BudgetLease":

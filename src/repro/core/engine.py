@@ -49,6 +49,7 @@ from repro.core.spec import (
     TaskSpec,
     TopKSpec,
 )
+from repro.core.governor import ConcurrencyGovernor
 from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
 from repro.exceptions import SpecError, StoreError
 from repro.llm.base import LLMClient
@@ -81,19 +82,24 @@ class DeclarativeEngine:
         budget: Budget | None = None,
         default_model: str | None = None,
         max_concurrency: int = 1,
+        governor: ConcurrencyGovernor | None = None,
         session: PromptSession | None = None,
     ) -> None:
         if session is not None:
-            if client is not None or registry is not None or budget is not None:
+            if client is not None or registry is not None or budget is not None or governor is not None:
                 raise SpecError(
-                    "pass either an existing session or client/registry/budget, not both"
+                    "pass either an existing session or client/registry/budget/governor, not both"
                 )
             self.session = session
         else:
             if client is None:
                 raise SpecError("DeclarativeEngine needs a client or a session")
             self.session = PromptSession(
-                client, registry=registry, budget=budget, max_concurrency=max_concurrency
+                client,
+                registry=registry,
+                budget=budget,
+                max_concurrency=max_concurrency,
+                governor=governor,
             )
         self.default_model = default_model
         #: The physical-planning layer every spec's strategy resolves through.
@@ -392,6 +398,7 @@ class DeclarativeEngine:
         quote: PipelineQuote | None = None,
         max_concurrency: int | None = None,
         store: "Store | None" = None,
+        scheduler: str = "threads",
     ) -> WorkflowReport:
         """Run a declarative pipeline (or a pre-built workflow) as a DAG.
 
@@ -419,6 +426,10 @@ class DeclarativeEngine:
                 defaults to the session's ``max_concurrency``.
             store: durable store for checkpoints/profile; defaults to the
                 session's own store when it has one.
+            scheduler: ``"threads"`` (default) or ``"async"`` — forwarded to
+                :meth:`~repro.core.workflow.Workflow.execute`.  The async
+                scheduler awaits native-async clients on one event loop and
+                bridges the engine's sync spec steps into worker threads.
         """
         if isinstance(pipeline, Workflow):
             workflow = pipeline
@@ -444,6 +455,7 @@ class DeclarativeEngine:
                 max_concurrency=max_concurrency,
                 spec_runner=spec_runner,
                 quote=quote,
+                scheduler=scheduler,
             )
         except BaseException:
             # A crashed run's completed steps already checkpointed

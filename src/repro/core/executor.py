@@ -25,15 +25,26 @@ Two reliability hooks ride along:
 
 from __future__ import annotations
 
+import asyncio
 import contextvars
+import inspect
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Awaitable, Callable, Iterable, Sequence
 
 from repro.core.budget import Budget, BudgetLease
+from repro.core.governor import ConcurrencyGovernor, estimated_prompt_tokens, is_rate_limit
 from repro.exceptions import BudgetExceededError, ConfigurationError
-from repro.llm.base import LLMResponse, call_complete_batch
+from repro.llm.base import LLMResponse, call_acomplete, call_acomplete_batch, call_complete_batch
 from repro.llm.retry import RetryingClient, RetryStats
+
+#: The documented default thread-pool size for I/O-bound sync dispatch — the
+#: reference point the async throughput benchmark compares against.  Chosen
+#: like ``ThreadPoolExecutor``'s historical default for I/O workloads, but
+#: fixed so benchmarks are machine-independent: thread-pool cost grows with
+#: pool size (one OS thread per slot), which is exactly the blowup the
+#: asyncio path avoids.
+DEFAULT_POOL_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -67,6 +78,20 @@ class TaskOutcome:
         return self.error is None and not self.skipped
 
 
+def _attach_budget_stop(outcomes: list[TaskOutcome], error: BudgetExceededError) -> None:
+    """Stamp the budget error onto every bare skipped outcome.
+
+    Once a batch stopped because the budget died, *all* tasks it prevented
+    from running share that cause — including ones whose pre-dispatch check
+    never got to run because they were still queued (the concurrent path) or
+    later in the loop (the sequential path).  Tasks skipped for other reasons
+    already carry their own error and are left alone.
+    """
+    for index, outcome in enumerate(outcomes):
+        if outcome.skipped and outcome.error is None:
+            outcomes[index] = TaskOutcome(error=error, skipped=True)
+
+
 class _BudgetPreCheckStop(Exception):
     """Internal: a map() task failed the pre-dispatch budget check.
 
@@ -89,6 +114,11 @@ class BatchExecutor:
         max_concurrency: thread-pool size; 1 means sequential native batching.
         budget: optional budget (or per-step :class:`~repro.core.budget.
             BudgetLease`) checked before each dispatch for early stopping.
+        governor: optional :class:`~repro.core.governor.ConcurrencyGovernor`
+            every unit-task dispatch is admitted through (RPM/TPM quotas,
+            in-flight cap, adaptive backoff).  Sharing one governor between
+            this executor and an :class:`AsyncBatchExecutor` gives sync and
+            async traffic a single admission point.
         validator: optional response-text validator enabling per-call retries
             (see :class:`~repro.llm.retry.RetryingClient`).
         max_retries: additional attempts per unit task when a validator is set.
@@ -101,6 +131,7 @@ class BatchExecutor:
         *,
         max_concurrency: int = 1,
         budget: Budget | BudgetLease | None = None,
+        governor: ConcurrencyGovernor | None = None,
         validator: Callable[[str], Any] | None = None,
         max_retries: int = 2,
         retry_temperature: float = 0.7,
@@ -109,6 +140,7 @@ class BatchExecutor:
             raise ConfigurationError("max_concurrency must be at least 1")
         self.max_concurrency = max_concurrency
         self.budget = budget
+        self.governor = governor
         if validator is not None:
             client = RetryingClient(
                 client,
@@ -153,9 +185,11 @@ class BatchExecutor:
         failure — or once an attached budget is exhausted — the remaining
         not-yet-started tasks are marked ``skipped`` (in-flight tasks still
         finish), mirroring where the sequential loop would have stopped.  A
-        task whose *pre-dispatch* budget check failed never ran: it is
-        reported as skipped with the budget error attached, not as a
-        mid-task failure.
+        task that never ran because the budget died before it started is
+        reported as skipped *with the budget error attached* — and that
+        holds for **every** such task, on both the sequential and the
+        concurrent path, so callers can tell the two skip causes apart
+        without caring which path executed the batch.
         """
         task_list = list(tasks)
         outcomes = [TaskOutcome(skipped=True) for _ in task_list]
@@ -166,7 +200,11 @@ class BatchExecutor:
                 try:
                     self._check_budget()
                 except BudgetExceededError as exc:
-                    outcomes[index] = TaskOutcome(error=exc, skipped=True)
+                    # Outcome parity with the concurrent path: every task the
+                    # exhausted budget prevented from running carries the
+                    # error, not just the first one.
+                    for skipped_index in range(index, len(task_list)):
+                        outcomes[skipped_index] = TaskOutcome(error=exc, skipped=True)
                     break
                 try:
                     outcomes[index] = TaskOutcome(value=task())
@@ -182,6 +220,7 @@ class BatchExecutor:
                 raise _BudgetPreCheckStop(exc) from exc
             return task()
 
+        budget_stop: BudgetExceededError | None = None
         with ThreadPoolExecutor(max_workers=self.max_concurrency) as pool:
             # Each task runs under a fresh copy of the dispatching thread's
             # context, so ambient state (the trace labels of repro.trace)
@@ -199,6 +238,7 @@ class BatchExecutor:
                     continue  # stays skipped
                 except _BudgetPreCheckStop as stop:
                     outcomes[index] = TaskOutcome(error=stop.error, skipped=True)
+                    budget_stop = budget_stop or stop.error
                     if not failed:
                         failed = True
                         pool.shutdown(wait=False, cancel_futures=True)
@@ -207,6 +247,8 @@ class BatchExecutor:
                     if not failed:
                         failed = True
                         pool.shutdown(wait=False, cancel_futures=True)
+        if budget_stop is not None:
+            _attach_budget_stop(outcomes, budget_stop)
         return outcomes
 
     # -- internals ----------------------------------------------------------------
@@ -218,12 +260,29 @@ class BatchExecutor:
 
     def _complete_one(self, request: BatchRequest) -> LLMResponse:
         self._check_budget()
-        return self._client.complete(
-            request.prompt,
-            model=request.model,
-            temperature=request.temperature,
-            max_tokens=request.max_tokens,
-        )
+        if self.governor is None:
+            return self._client.complete(
+                request.prompt,
+                model=request.model,
+                temperature=request.temperature,
+                max_tokens=request.max_tokens,
+            )
+        with self.governor.admit(
+            request.model, estimated_tokens=estimated_prompt_tokens(request.prompt)
+        ):
+            try:
+                response = self._client.complete(
+                    request.prompt,
+                    model=request.model,
+                    temperature=request.temperature,
+                    max_tokens=request.max_tokens,
+                )
+            except BaseException as exc:
+                if is_rate_limit(exc):
+                    self.governor.record_failure(exc)
+                raise
+        self.governor.record_success()
+        return response
 
     def _homogeneous_params(
         self, requests: Sequence[BatchRequest]
@@ -239,10 +298,11 @@ class BatchExecutor:
 
     def _run_sequential(self, requests: Sequence[BatchRequest]) -> list[LLMResponse]:
         params = self._homogeneous_params(requests)
-        if params is not None and not self._budget_enforced:
+        if params is not None and not self._budget_enforced and self.governor is None:
             # The common operator case: one prompt list, shared parameters, no
-            # budget limit to check mid-batch — hand the whole bag to the
-            # client's native batch entry point in a single call.
+            # budget limit to check mid-batch and no governor to admit each
+            # dispatch — hand the whole bag to the client's native batch
+            # entry point in a single call.
             model, temperature, max_tokens = params
             return call_complete_batch(
                 self._client,
@@ -313,3 +373,243 @@ class BatchExecutor:
             results[index] = self._complete_one(requests[index])
         assert all(response is not None for response in results)
         return results  # type: ignore[return-value]
+
+
+class AsyncBatchExecutor:
+    """Asyncio-native twin of :class:`BatchExecutor`.
+
+    Same contract — ordered results, per-dispatch budget pre-checks,
+    first-failure cancellation of not-yet-started work, duplicate-prompt
+    dedup ahead of the cache, contextvar-propagated trace labels — but unit
+    tasks are awaited as asyncio tasks bounded by a semaphore instead of
+    fanned over a thread pool.  For I/O-bound provider calls that is the
+    difference between paying one OS thread per concurrent call and paying
+    none: concurrency 64 costs 64 pending awaits, not 64 threads.
+
+    Sync-only clients stay drop-in: dispatch goes through
+    :func:`~repro.llm.base.call_acomplete`, which bridges a client without
+    ``acomplete`` into a worker thread.  An attached
+    :class:`~repro.core.governor.ConcurrencyGovernor` admits every dispatch
+    (``admit_async``), so a governor shared with a sync executor makes both
+    paths obey one set of quotas.
+
+    Args:
+        client: the client every unit task is awaited through.
+        max_concurrency: maximum simultaneously pending unit tasks.
+        budget: optional budget/lease checked before each dispatch.
+        governor: optional shared admission point (quotas, backoff, slots).
+        validator: optional response-text validator enabling per-call retries.
+        max_retries: additional attempts per unit task when a validator is set.
+        retry_temperature: temperature used for those retry attempts.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        *,
+        max_concurrency: int = 16,
+        budget: Budget | BudgetLease | None = None,
+        governor: ConcurrencyGovernor | None = None,
+        validator: Callable[[str], Any] | None = None,
+        max_retries: int = 2,
+        retry_temperature: float = 0.7,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be at least 1")
+        self.max_concurrency = max_concurrency
+        self.budget = budget
+        self.governor = governor
+        if validator is not None:
+            client = RetryingClient(
+                client,
+                validator=validator,
+                max_retries=max_retries,
+                retry_temperature=retry_temperature,
+            )
+            self.retry_stats: RetryStats | None = client.stats
+        else:
+            self.retry_stats = None
+        self._client = client
+
+    # -- dispatch -----------------------------------------------------------------
+
+    async def run(self, requests: Iterable[BatchRequest | str]) -> list[LLMResponse]:
+        """Execute every request and return the responses in input order.
+
+        Semantics mirror :meth:`BatchExecutor.run`: plain strings are
+        promoted to default-parameter requests, an exhausted budget raises
+        :class:`~repro.exceptions.BudgetExceededError` before further
+        dispatches, the first failure cancels queued (not in-flight) unit
+        tasks and is re-raised deterministically (earliest request among
+        those that ran), and temperature-0 duplicates of one (model, prompt)
+        defer to the post-batch cache pass instead of racing it.
+        """
+        normalized = [
+            request if isinstance(request, BatchRequest) else BatchRequest(prompt=request)
+            for request in requests
+        ]
+        if not normalized:
+            return []
+        if self.max_concurrency == 1 or len(normalized) == 1:
+            return await self._run_sequential(normalized)
+        return await self._run_concurrent(normalized)
+
+    async def map(
+        self, tasks: Sequence[Callable[[], Any] | Callable[[], Awaitable[Any]]]
+    ) -> list[TaskOutcome]:
+        """Run independent no-argument callables; outcomes in input order.
+
+        The async twin of :meth:`BatchExecutor.map`, with identical outcome
+        semantics (including the budget-skip error attachment).  Tasks may be
+        coroutine functions — awaited natively on the loop — or plain sync
+        callables, which are bridged into worker threads so a wave of
+        blocking operator runs still overlaps in wall-clock time.  Each task
+        runs under the dispatching context (trace labels propagate both into
+        asyncio tasks and across the thread bridge).
+        """
+        task_list = list(tasks)
+        outcomes = [TaskOutcome(skipped=True) for _ in task_list]
+        if not task_list:
+            return outcomes
+        semaphore = asyncio.Semaphore(self.max_concurrency)
+        stopped = False
+        budget_stop: BudgetExceededError | None = None
+
+        async def worker(index: int, task: Callable[[], Any]) -> None:
+            nonlocal stopped, budget_stop
+            async with semaphore:
+                if stopped:
+                    return  # stays skipped: a sibling already failed
+                try:
+                    self._check_budget()
+                except BudgetExceededError as exc:
+                    outcomes[index] = TaskOutcome(error=exc, skipped=True)
+                    budget_stop = budget_stop or exc
+                    stopped = True
+                    return
+                try:
+                    value = await _call_task(task)
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - reported, not raised
+                    outcomes[index] = TaskOutcome(error=exc)
+                    stopped = True
+                    return
+                outcomes[index] = TaskOutcome(value=value)
+
+        await asyncio.gather(
+            *(asyncio.create_task(worker(index, task)) for index, task in enumerate(task_list))
+        )
+        if budget_stop is not None:
+            _attach_budget_stop(outcomes, budget_stop)
+        return outcomes
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check_budget(self) -> None:
+        budget = self.budget
+        if budget is not None and not budget.unlimited and budget.remaining <= 0.0:
+            raise BudgetExceededError(budget.spent, budget.limit)
+
+    async def _complete_one(self, request: BatchRequest) -> LLMResponse:
+        self._check_budget()
+        if self.governor is None:
+            return await call_acomplete(
+                self._client,
+                request.prompt,
+                model=request.model,
+                temperature=request.temperature,
+                max_tokens=request.max_tokens,
+            )
+        async with self.governor.admit_async(
+            request.model, estimated_tokens=estimated_prompt_tokens(request.prompt)
+        ):
+            try:
+                response = await call_acomplete(
+                    self._client,
+                    request.prompt,
+                    model=request.model,
+                    temperature=request.temperature,
+                    max_tokens=request.max_tokens,
+                )
+            except BaseException as exc:
+                if is_rate_limit(exc):
+                    self.governor.record_failure(exc)
+                raise
+        self.governor.record_success()
+        return response
+
+    @property
+    def _budget_enforced(self) -> bool:
+        return self.budget is not None and not self.budget.unlimited
+
+    async def _run_sequential(self, requests: Sequence[BatchRequest]) -> list[LLMResponse]:
+        params = {(request.model, request.temperature, request.max_tokens) for request in requests}
+        if len(params) == 1 and not self._budget_enforced and self.governor is None:
+            # Homogeneous parameters, nothing to check mid-batch: hand the
+            # whole bag to the client's native async batch entry point.
+            model, temperature, max_tokens = next(iter(params))
+            return await call_acomplete_batch(
+                self._client,
+                [request.prompt for request in requests],
+                model=model,
+                temperature=temperature,
+                max_tokens=max_tokens,
+            )
+        return [await self._complete_one(request) for request in requests]
+
+    async def _run_concurrent(self, requests: Sequence[BatchRequest]) -> list[LLMResponse]:
+        results: list[LLMResponse | None] = [None] * len(requests)
+        # Same dispatch-level dedup as the thread path: only the first
+        # occurrence per temperature-0 (model, prompt) goes to the loop
+        # concurrently; duplicates resolve afterwards through the per-call
+        # path, where they hit the now-warm cache.
+        seen: set[tuple[str | None, str]] = set()
+        pooled: list[int] = []
+        deferred: list[int] = []
+        for index, request in enumerate(requests):
+            if request.temperature == 0.0:
+                key = (request.model, request.prompt)
+                if key in seen:
+                    deferred.append(index)
+                    continue
+                seen.add(key)
+            pooled.append(index)
+        errors: dict[int, BaseException] = {}
+        semaphore = asyncio.Semaphore(self.max_concurrency)
+        stopped = False
+
+        async def worker(index: int) -> None:
+            nonlocal stopped
+            async with semaphore:
+                if stopped:
+                    return  # cancelled-equivalent: queued behind the failure
+                try:
+                    results[index] = await self._complete_one(requests[index])
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors[index] = exc
+                    stopped = True
+
+        await asyncio.gather(*(asyncio.create_task(worker(index)) for index in pooled))
+        if errors:
+            # Deterministic propagation: the earliest request among those
+            # that ran, exactly like the thread path.
+            raise errors[min(errors)]
+        for index in deferred:
+            results[index] = await self._complete_one(requests[index])
+        assert all(response is not None for response in results)
+        return results  # type: ignore[return-value]
+
+
+async def _call_task(task: Callable[[], Any]) -> Any:
+    """Await a map() task: native coroutine functions run on the loop, sync
+    callables hop to a worker thread (so blocking work still overlaps), and a
+    sync callable returning an awaitable gets that awaited too."""
+    if inspect.iscoroutinefunction(task):
+        return await task()
+    value = await asyncio.to_thread(task)
+    if inspect.isawaitable(value):
+        return await value
+    return value

@@ -21,10 +21,17 @@ from typing import TYPE_CHECKING
 
 from repro.config import DEFAULT_CONFIG, ReproConfig
 from repro.core.budget import Budget, BudgetLease
-from repro.core.executor import BatchExecutor
+from repro.core.executor import AsyncBatchExecutor, BatchExecutor
+from repro.core.governor import ConcurrencyGovernor
 from repro.core.physical import RuntimeStats
 from repro.exceptions import BudgetExceededError, StoreError
-from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
+from repro.llm.base import (
+    LLMClient,
+    LLMResponse,
+    call_acomplete,
+    call_acomplete_batch,
+    call_complete_batch,
+)
 from repro.llm.cache import CachedClient, ResponseCache, ResponseCacheLike
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.llm.tracker import UsageTracker
@@ -80,6 +87,38 @@ class SessionClient:
             budget=self.budget,
         )
 
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        return await self.session.acomplete(
+            prompt,
+            model=model,
+            temperature=temperature,
+            max_tokens=max_tokens,
+            budget=self.budget,
+        )
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        return await self.session.acomplete_batch(
+            prompts,
+            model=model,
+            temperature=temperature,
+            max_tokens=max_tokens,
+            budget=self.budget,
+        )
+
     @property
     def tracer(self) -> Tracer:
         """The session's call tracer (retry wrappers annotate through this)."""
@@ -97,6 +136,10 @@ class PromptSession:
         use_cache: whether identical temperature-0 prompts are deduplicated.
         max_concurrency: thread-pool size operators use for their independent
             unit tasks; 1 (the default) keeps everything sequential.
+        governor: optional :class:`~repro.core.governor.ConcurrencyGovernor`
+            every executor built from this session routes its dispatches
+            through — one admission point (RPM/TPM quotas, in-flight cap,
+            adaptive backoff) shared by the sync and async execution paths.
         store: optional durable :class:`~repro.store.Store`.  When given,
             the response cache lives in the store (temperature-0 calls are
             free across process lifetimes) and the saved workload profile —
@@ -116,6 +159,7 @@ class PromptSession:
         config: ReproConfig = DEFAULT_CONFIG,
         use_cache: bool = True,
         max_concurrency: int = 1,
+        governor: ConcurrencyGovernor | None = None,
         store: "Store | None" = None,
         profile_decay: float = 0.5,
     ) -> None:
@@ -123,6 +167,7 @@ class PromptSession:
         self.budget = budget or Budget()
         self.config = config
         self.max_concurrency = max_concurrency
+        self.governor = governor
         self.cost_model: CostModel = self.registry.cost_model()
         self.tracker = UsageTracker(cost_model=self.cost_model)
         self.store = store
@@ -175,6 +220,52 @@ class PromptSession:
                 exc,
             )
             raise
+        return self._settle_completion(prompt, temperature, response, target, start)
+
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> LLMResponse:
+        """Asyncio-native :meth:`complete`: identical tracing and charging.
+
+        The call is awaited through the client stack's ``acomplete`` chain
+        (sync-only clients are bridged into a worker thread); everything
+        after the response — tracker, cost, trace record, budget charge — is
+        the exact code path the sync method runs, so at temperature 0 the
+        two are observably identical.
+        """
+        target = budget if budget is not None else self.budget
+        model_name = model or self.config.chat_model
+        start = time.perf_counter()
+        try:
+            response = await call_acomplete(
+                self._client, prompt, model=model_name, temperature=temperature, max_tokens=max_tokens
+            )
+        except Exception as exc:
+            self._trace_failure(
+                prompt,
+                model_name,
+                temperature,
+                (time.perf_counter() - start) * 1000.0,
+                exc,
+            )
+            raise
+        return self._settle_completion(prompt, temperature, response, target, start)
+
+    def _settle_completion(
+        self,
+        prompt: str,
+        temperature: float,
+        response: LLMResponse,
+        target: Budget | BudgetLease,
+        start: float,
+    ) -> LLMResponse:
+        """Shared post-call path: track, price, trace, then charge."""
         duration_ms = (time.perf_counter() - start) * 1000.0
         self.tracker.record(response)
         priced = self.cost_model.has_model(response.model)
@@ -225,6 +316,48 @@ class PromptSession:
                 "", model_name, temperature, (time.perf_counter() - start) * 1000.0, exc
             )
             raise
+        return self._settle_batch(request_list, responses, temperature, target, start)
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> list[LLMResponse]:
+        """Asyncio-native :meth:`complete_batch`: identical accounting."""
+        target = budget if budget is not None else self.budget
+        if not target.unlimited and target.remaining <= 0.0:
+            raise BudgetExceededError(target.spent, target.limit or 0.0)
+        model_name = model or self.config.chat_model
+        request_list = list(prompts)
+        start = time.perf_counter()
+        try:
+            responses = await call_acomplete_batch(
+                self._client,
+                request_list,
+                model=model_name,
+                temperature=temperature,
+                max_tokens=max_tokens,
+            )
+        except Exception as exc:
+            self._trace_failure(
+                "", model_name, temperature, (time.perf_counter() - start) * 1000.0, exc
+            )
+            raise
+        return self._settle_batch(request_list, responses, temperature, target, start)
+
+    def _settle_batch(
+        self,
+        request_list: list[str],
+        responses: list[LLMResponse],
+        temperature: float,
+        target: Budget | BudgetLease,
+        start: float,
+    ) -> list[LLMResponse]:
+        """Shared post-batch path: track, trace each response, charge all."""
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         share_ms = elapsed_ms / len(responses) if responses else 0.0
         self.tracker.record_batch(responses)
@@ -315,7 +448,8 @@ class PromptSession:
         The DAG pipeline scheduler (:class:`~repro.core.workflow.Workflow`)
         runs each wave of independent steps through one of these; any caller
         fanning independent unit tasks through the session can do the same.
-        ``max_concurrency`` defaults to the session's setting.
+        ``max_concurrency`` defaults to the session's setting; the session's
+        governor (when set) admits every dispatch.
         """
         return BatchExecutor(
             self.client(),
@@ -325,6 +459,28 @@ class PromptSession:
                 max_concurrency if max_concurrency is not None else self.max_concurrency
             ),
             budget=budget,
+            governor=self.governor,
+        )
+
+    def async_batch_executor(
+        self,
+        *,
+        max_concurrency: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> AsyncBatchExecutor:
+        """The asyncio-native executor twin, bound to this session's client.
+
+        Shares the session's governor with every sync executor the session
+        builds, so both paths go through one admission point.
+        ``max_concurrency`` defaults to the session's setting.
+        """
+        return AsyncBatchExecutor(
+            self.client(),
+            max_concurrency=(
+                max_concurrency if max_concurrency is not None else self.max_concurrency
+            ),
+            budget=budget,
+            governor=self.governor,
         )
 
     @property
@@ -404,6 +560,40 @@ class BudgetScopedSession:
             budget=budget if budget is not None else self.budget,
         )
 
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> LLMResponse:
+        return await self._session.acomplete(
+            prompt,
+            model=model,
+            temperature=temperature,
+            max_tokens=max_tokens,
+            budget=budget if budget is not None else self.budget,
+        )
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> list[LLMResponse]:
+        return await self._session.acomplete_batch(
+            prompts,
+            model=model,
+            temperature=temperature,
+            max_tokens=max_tokens,
+            budget=budget if budget is not None else self.budget,
+        )
+
     def client(self, budget: Budget | BudgetLease | None = None) -> SessionClient:
         return self._session.client(budget if budget is not None else self.budget)
 
@@ -414,6 +604,17 @@ class BudgetScopedSession:
         budget: Budget | BudgetLease | None = None,
     ) -> BatchExecutor:
         return self._session.batch_executor(
+            max_concurrency=max_concurrency,
+            budget=budget if budget is not None else self.budget,
+        )
+
+    def async_batch_executor(
+        self,
+        *,
+        max_concurrency: int | None = None,
+        budget: Budget | BudgetLease | None = None,
+    ) -> AsyncBatchExecutor:
+        return self._session.async_batch_executor(
             max_concurrency=max_concurrency,
             budget=budget if budget is not None else self.budget,
         )

@@ -243,6 +243,7 @@ class Workflow:
         max_concurrency: int | None = None,
         spec_runner: SpecRunner | None = None,
         quote: "PipelineQuote | None" = None,
+        scheduler: str = "threads",
     ) -> WorkflowReport:
         """Run the DAG against ``session``, wave by wave.
 
@@ -255,7 +256,93 @@ class Workflow:
                 when the workflow contains spec steps.
             quote: optional pre-flight quote whose per-step dollar estimates
                 weight the budget apportionment.
+            scheduler: ``"threads"`` (the default) runs each wave through
+                the session's thread-pool :class:`~repro.core.executor.
+                BatchExecutor`; ``"async"`` drives its own event loop and
+                runs the waves through the asyncio-native scheduler (see
+                :meth:`execute_async` — call that directly from inside an
+                already-running loop).
         """
+        if scheduler == "async":
+            import asyncio
+
+            return asyncio.run(
+                self.execute_async(
+                    session,
+                    max_concurrency=max_concurrency,
+                    spec_runner=spec_runner,
+                    quote=quote,
+                )
+            )
+        if scheduler != "threads":
+            raise SpecError(f"unknown scheduler {scheduler!r} (expected 'threads' or 'async')")
+        state = self._prepare_execution(session, spec_runner, quote)
+        executor = session.batch_executor(
+            max_concurrency=max_concurrency, budget=state.budget
+        )
+        while state.pending:
+            planned = self._plan_round(state, session, spec_runner, quote)
+            if planned is None:
+                break
+            runnable, thunks, leases = planned
+            outcomes = executor.map(thunks)
+            progressed, failure = self._absorb_outcomes(state, runnable, outcomes, leases)
+            if failure is not None:
+                self._finalize(state.report, session, state.usage_before, state.cost_before)
+                raise failure
+            if not progressed:
+                break  # defensive: nothing completed or stopped this round
+        self._finalize(state.report, session, state.usage_before, state.cost_before)
+        return state.report
+
+    async def execute_async(
+        self,
+        session: PromptSession,
+        *,
+        max_concurrency: int | None = None,
+        spec_runner: SpecRunner | None = None,
+        quote: "PipelineQuote | None" = None,
+    ) -> WorkflowReport:
+        """The asyncio-native scheduler: identical semantics, awaited waves.
+
+        Each round of runnable steps goes through the session's
+        :class:`~repro.core.executor.AsyncBatchExecutor`: steps whose
+        ``run`` is a coroutine function are awaited natively on the loop
+        (zero extra threads), while sync steps — including all engine-run
+        spec steps — are bridged into worker threads so a wave of blocking
+        operator runs still overlaps.  Waves, inputs, budget apportionment,
+        lease containment, and the final report are computed by the same
+        code the thread scheduler uses, so at temperature 0 the two
+        schedulers produce element-wise identical reports.
+        """
+        state = self._prepare_execution(session, spec_runner, quote)
+        executor = session.async_batch_executor(
+            max_concurrency=max_concurrency, budget=state.budget
+        )
+        while state.pending:
+            planned = self._plan_round(state, session, spec_runner, quote)
+            if planned is None:
+                break
+            runnable, thunks, leases = planned
+            outcomes = await executor.map(thunks)
+            progressed, failure = self._absorb_outcomes(state, runnable, outcomes, leases)
+            if failure is not None:
+                self._finalize(state.report, session, state.usage_before, state.cost_before)
+                raise failure
+            if not progressed:
+                break  # defensive: nothing completed or stopped this round
+        self._finalize(state.report, session, state.usage_before, state.cost_before)
+        return state.report
+
+    # -- internals ---------------------------------------------------------------
+
+    def _prepare_execution(
+        self,
+        session: PromptSession,
+        spec_runner: SpecRunner | None,
+        quote: "PipelineQuote | None",
+    ) -> "_ExecutionState":
+        """Validate the graph and build the state both schedulers share."""
         if not self._steps:
             raise SpecError(f"workflow {self.name!r} has no steps")
         dependencies = {step.name: list(step.depends_on) for step in self._steps}
@@ -276,107 +363,126 @@ class Workflow:
             for step in self._steps
         }
 
-        # Satellite fix: report this run's usage, not session-lifetime totals.
-        usage_before = session.tracker.usage
-        cost_before = session.tracker.cost()
-
         budget = session.budget
         if self.budget_dollars is not None:
             # The workflow's own cap, enforced as a lease over the session
             # budget (binding even when the session budget is unlimited).
             budget = budget.lease(self.budget_dollars)
-        executor = session.batch_executor(max_concurrency=max_concurrency, budget=budget)
-        pending = [name for wave in waves for name in wave]
+        return _ExecutionState(
+            dependencies=dependencies,
+            closures=closures,
+            steps_by_name=steps_by_name,
+            report=report,
+            budget=budget,
+            pending=[name for wave in waves for name in wave],
+            # Report this run's usage, not session-lifetime totals.
+            usage_before=session.tracker.usage,
+            cost_before=session.tracker.cost(),
+        )
 
-        while pending:
-            if not budget.unlimited and budget.remaining <= 0.0:
+    def _plan_round(
+        self,
+        state: "_ExecutionState",
+        session: PromptSession,
+        spec_runner: SpecRunner | None,
+        quote: "PipelineQuote | None",
+    ) -> tuple[list[str], list[Callable[[], Any]], dict[str, BudgetLease]] | None:
+        """Pick this round's runnable steps and build their thunks.
+
+        Returns ``None`` when the run is over: the shared budget is gone
+        (recorded on the report) or everything left is downstream of a
+        stopped step.
+        """
+        report, budget, pending = state.report, state.budget, state.pending
+        if not budget.unlimited and budget.remaining <= 0.0:
+            report.stopped_early = True
+            if not report.stop_reason:
+                report.stop_reason = (
+                    f"budget exhausted before step(s) "
+                    f"{', '.join(repr(n) for n in pending)}: "
+                    f"spent ${budget.spent:.6f} of ${budget.limit:.6f}"
+                )
+            return None
+        # The next round: every pending step whose dependencies all
+        # completed.  With no failures this dispatches exactly the
+        # topological waves; after a lease stop, unaffected independent
+        # branches keep running while the stopped step's dependents stay
+        # blocked (and are reported as skipped below).
+        runnable = [
+            name
+            for name in pending
+            if all(dep in report.results for dep in state.dependencies[name])
+        ]
+        if not runnable:
+            return None  # the rest are downstream of a stopped step
+
+        # Steps downstream of a stopped step can never run, so they must
+        # not reserve a share of the remaining money — only steps whose
+        # whole dependency closure is completed or still pending count.
+        reachable = [
+            name
+            for name in pending
+            if all(dep in report.results or dep in pending for dep in state.closures[name])
+        ]
+        allocations = self._apportion(reachable, state.steps_by_name, budget, quote)
+        thunks: list[Callable[[], Any]] = []
+        leases: dict[str, BudgetLease] = {}
+        for name in runnable:
+            step = state.steps_by_name[name]
+            inputs = {dep: report.results[dep] for dep in state.closures[name]}
+            allocation = allocations.get(name)
+            report.step_reports[name].allocation = allocation
+            thunks.append(
+                self._make_thunk(step, session, inputs, budget, allocation, spec_runner, leases)
+            )
+        return runnable, thunks, leases
+
+    @staticmethod
+    def _absorb_outcomes(
+        state: "_ExecutionState",
+        runnable: list[str],
+        outcomes: list[Any],
+        leases: dict[str, BudgetLease],
+    ) -> tuple[bool, BaseException | None]:
+        """Fold one round's outcomes into the report; (progressed, failure)."""
+        report, pending = state.report, state.pending
+        progressed = False
+        failure: BaseException | None = None
+        for name, outcome in zip(runnable, outcomes):
+            step_report = report.step_reports[name]
+            if outcome.ok:
+                step_report.status = "completed"
+                report.results[name] = outcome.value
+                report.step_order.append(name)
+                if isinstance(outcome.value, OperatorResult):
+                    step_report.cost = outcome.value.cost
+                    step_report.calls = outcome.value.usage.calls
+                pending.remove(name)
+                progressed = True
+            elif outcome.skipped:
+                # Never dispatched this round (a sibling failed first, or
+                # the budget died before the step started); stays pending —
+                # the next _plan_round either retries it or records the
+                # budget stop for the whole remainder.
+                continue
+            elif isinstance(outcome.error, BudgetExceededError):
+                # The step ran out of money (its lease or the shared
+                # budget).  Contain the damage to the step: its
+                # dependents are blocked, but independent branches keep
+                # their own allocations and continue.
+                step_report.status = "stopped"
+                if name in leases:
+                    # The partial spend before the cut-off, measured by
+                    # the step's own lease.
+                    step_report.cost = leases[name].spent
                 report.stopped_early = True
                 if not report.stop_reason:
-                    report.stop_reason = (
-                        f"budget exhausted before step(s) "
-                        f"{', '.join(repr(n) for n in pending)}: "
-                        f"spent ${budget.spent:.6f} of ${budget.limit:.6f}"
-                    )
-                break
-            # The next round: every pending step whose dependencies all
-            # completed.  With no failures this dispatches exactly the
-            # topological waves; after a lease stop, unaffected independent
-            # branches keep running while the stopped step's dependents stay
-            # blocked (and are reported as skipped below).
-            runnable = [
-                name
-                for name in pending
-                if all(dep in report.results for dep in dependencies[name])
-            ]
-            if not runnable:
-                break  # the rest are downstream of a stopped step
-
-            # Steps downstream of a stopped step can never run, so they must
-            # not reserve a share of the remaining money — only steps whose
-            # whole dependency closure is completed or still pending count.
-            reachable = [
-                name
-                for name in pending
-                if all(dep in report.results or dep in pending for dep in closures[name])
-            ]
-            allocations = self._apportion(reachable, steps_by_name, budget, quote)
-            thunks = []
-            leases: dict[str, BudgetLease] = {}
-            for name in runnable:
-                step = steps_by_name[name]
-                inputs = {dep: report.results[dep] for dep in closures[name]}
-                allocation = allocations.get(name)
-                report.step_reports[name].allocation = allocation
-                thunks.append(
-                    self._make_thunk(
-                        step, session, inputs, budget, allocation, spec_runner, leases
-                    )
-                )
-
-            progressed = False
-            failure: BaseException | None = None
-            for name, outcome in zip(runnable, executor.map(thunks)):
-                step_report = report.step_reports[name]
-                if outcome.ok:
-                    step_report.status = "completed"
-                    report.results[name] = outcome.value
-                    report.step_order.append(name)
-                    if isinstance(outcome.value, OperatorResult):
-                        step_report.cost = outcome.value.cost
-                        step_report.calls = outcome.value.usage.calls
-                    pending.remove(name)
-                    progressed = True
-                elif outcome.skipped:
-                    # Never dispatched this round (a sibling failed first);
-                    # stays pending and is retried next round.
-                    continue
-                elif isinstance(outcome.error, BudgetExceededError):
-                    # The step ran out of money (its lease or the shared
-                    # budget).  Contain the damage to the step: its
-                    # dependents are blocked, but independent branches keep
-                    # their own allocations and continue.
-                    step_report.status = "stopped"
-                    if name in leases:
-                        # The partial spend before the cut-off, measured by
-                        # the step's own lease.
-                        step_report.cost = leases[name].spent
-                    report.stopped_early = True
-                    if not report.stop_reason:
-                        report.stop_reason = str(outcome.error)
-                    pending.remove(name)
-                    progressed = True
-                else:
-                    failure = failure or outcome.error
-            if failure is not None:
-                self._finalize(report, session, usage_before, cost_before)
-                raise failure
-            if not progressed:
-                break  # defensive: nothing completed or stopped this round
-
-        self._finalize(report, session, usage_before, cost_before)
-        return report
-
-    # -- internals ---------------------------------------------------------------
+                    report.stop_reason = str(outcome.error)
+                pending.remove(name)
+                progressed = True
+            else:
+                failure = failure or outcome.error
+        return progressed, failure
 
     @staticmethod
     def _make_thunk(
@@ -458,3 +564,22 @@ class Workflow:
             usage_after.completion_tokens - usage_before.completion_tokens
         )
         report.total_calls = usage_after.calls - usage_before.calls
+
+
+@dataclass
+class _ExecutionState:
+    """Mutable per-run state shared by the thread and async schedulers.
+
+    Bundling it keeps :meth:`Workflow._plan_round` and
+    :meth:`Workflow._absorb_outcomes` identical across the two drivers, which
+    is what guarantees the schedulers stay semantically equivalent.
+    """
+
+    dependencies: dict[str, list[str]]
+    closures: Mapping[str, Any]
+    steps_by_name: dict[str, WorkflowStep]
+    report: WorkflowReport
+    budget: Any
+    pending: list[str]
+    usage_before: Any
+    cost_before: float

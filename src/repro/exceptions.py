@@ -59,6 +59,23 @@ class BudgetExceededError(ReproError):
         )
 
 
+class RateLimitError(ReproError):
+    """The LLM backend refused a call because a rate limit was hit.
+
+    Mirrors the 429-style signal real provider APIs return.  ``retry_after``
+    carries the backend's suggested wait in seconds when it supplied one (0
+    otherwise); the :class:`~repro.core.governor.ConcurrencyGovernor` consumes
+    it to drive adaptive backoff, falling back to exponential delays when the
+    backend gave no hint.
+    """
+
+    def __init__(self, message: str = "rate limit exceeded", retry_after: float = 0.0) -> None:
+        self.retry_after = retry_after
+        if retry_after:
+            message += f" (retry after {retry_after:g}s)"
+        super().__init__(message)
+
+
 class SpecError(ReproError):
     """A declarative task specification is invalid or incomplete."""
 

@@ -15,7 +15,10 @@ from repro.llm.base import (
     ChatMessage,
     LLMClient,
     LLMResponse,
+    call_acomplete,
+    call_acomplete_batch,
     call_complete_batch,
+    sequential_acomplete_batch,
     sequential_complete_batch,
 )
 from repro.llm.behaviors import BehaviorConfig
@@ -44,7 +47,10 @@ __all__ = [
     "RetryingClient",
     "SimulatedLLM",
     "UsageTracker",
+    "call_acomplete",
+    "call_acomplete_batch",
     "call_complete_batch",
     "default_registry",
+    "sequential_acomplete_batch",
     "sequential_complete_batch",
 ]

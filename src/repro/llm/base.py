@@ -7,6 +7,7 @@ wrapper, the cascade router and the ensemble client are all interchangeable.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
@@ -62,12 +63,19 @@ class LLMClient(Protocol):
     it returns N responses in input order.  Clients without a native batch
     implementation can delegate to :func:`sequential_complete_batch`.
 
+    ``acomplete``/``acomplete_batch`` are the asyncio-native counterparts used
+    by the :class:`~repro.core.executor.AsyncBatchExecutor`.  At temperature 0
+    they must be observably identical to the sync methods (the async
+    equivalence suite asserts this for every wrapper in this package).
+
     Compatibility: minimal clients that only implement ``complete`` are still
     accepted by every consumer in this package — all internal batch dispatch
     goes through :func:`call_complete_batch`, which falls back to the
-    sequential loop when ``complete_batch`` is absent.  Such clients are not
-    full ``LLMClient`` implementations (``isinstance`` and static checks will
-    say so), but they run fine everywhere a client is consumed.
+    sequential loop when ``complete_batch`` is absent, and all internal async
+    dispatch goes through :func:`call_acomplete`/:func:`call_acomplete_batch`,
+    which bridge a sync-only client into a worker thread.  Such clients are
+    not full ``LLMClient`` implementations (``isinstance`` and static checks
+    will say so), but they run fine everywhere a client is consumed.
     """
 
     def complete(
@@ -90,6 +98,28 @@ class LLMClient(Protocol):
         max_tokens: int | None = None,
     ) -> list[LLMResponse]:
         """Run one completion call per prompt and return responses in order."""
+        ...  # pragma: no cover - protocol definition
+
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Asyncio-native ``complete``: identical semantics, awaitable."""
+        ...  # pragma: no cover - protocol definition
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Asyncio-native ``complete_batch``: identical semantics, awaitable."""
         ...  # pragma: no cover - protocol definition
 
 
@@ -130,6 +160,81 @@ def call_complete_batch(
     if callable(batch):
         return batch(prompts, model=model, temperature=temperature, max_tokens=max_tokens)
     return sequential_complete_batch(
+        client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+    )
+
+
+async def sequential_acomplete_batch(
+    client: Any,
+    prompts: list[str],
+    *,
+    model: str | None = None,
+    temperature: float = 0.0,
+    max_tokens: int | None = None,
+) -> list[LLMResponse]:
+    """The sequential default for ``acomplete_batch``: one awaited call per prompt.
+
+    Mirrors :func:`sequential_complete_batch`; concurrency across the batch is
+    the :class:`~repro.core.executor.AsyncBatchExecutor`'s job, exactly as the
+    thread pool is the sync path's.
+    """
+    return [
+        await call_acomplete(
+            client, prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+        for prompt in prompts
+    ]
+
+
+async def call_acomplete(
+    client: Any,
+    prompt: str,
+    *,
+    model: str | None = None,
+    temperature: float = 0.0,
+    max_tokens: int | None = None,
+) -> LLMResponse:
+    """Await ``client``'s completion, preferring its native ``acomplete``.
+
+    The default sync-bridge: a client that only implements ``complete`` is
+    called in a worker thread (``asyncio.to_thread``), so every existing sync
+    client stays drop-in on the async path.  Contextvars — including the trace
+    labels of :mod:`repro.trace` — propagate into the bridge thread.
+    """
+    acomplete = getattr(client, "acomplete", None)
+    if callable(acomplete):
+        return await acomplete(
+            prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+    return await asyncio.to_thread(
+        client.complete, prompt, model=model, temperature=temperature, max_tokens=max_tokens
+    )
+
+
+async def call_acomplete_batch(
+    client: Any,
+    prompts: list[str],
+    *,
+    model: str | None = None,
+    temperature: float = 0.0,
+    max_tokens: int | None = None,
+) -> list[LLMResponse]:
+    """Await a batch, preferring native ``acomplete_batch``, bridging otherwise.
+
+    Fallback order mirrors the sync dispatcher: a native async batch first, a
+    sync ``complete_batch`` bridged through a worker thread second (it may
+    carry batch-level optimisations such as cache dedup), the sequential
+    awaited loop last.
+    """
+    abatch = getattr(client, "acomplete_batch", None)
+    if callable(abatch):
+        return await abatch(prompts, model=model, temperature=temperature, max_tokens=max_tokens)
+    batch = getattr(client, "complete_batch", None)
+    if callable(batch):
+        return await asyncio.to_thread(
+            lambda: batch(prompts, model=model, temperature=temperature, max_tokens=max_tokens)
+        )
+    return await sequential_acomplete_batch(
         client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
     )
 

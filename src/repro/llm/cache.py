@@ -23,7 +23,13 @@ from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.exceptions import ConfigurationError
-from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
+from repro.llm.base import (
+    LLMClient,
+    LLMResponse,
+    call_acomplete,
+    call_acomplete_batch,
+    call_complete_batch,
+)
 from repro.tokenizer.cost import Usage
 
 
@@ -199,6 +205,82 @@ class CachedClient:
                 pending_prompts.append(prompt)
         if pending_prompts:
             responses = call_complete_batch(
+                self._client,
+                pending_prompts,
+                model=model,
+                temperature=temperature,
+                max_tokens=max_tokens,
+            )
+            for index, prompt, response in zip(pending_indices, pending_prompts, responses):
+                self.cache.put(cache_key_model, prompt, response)
+                results[index] = response
+        for index in duplicate_indices:
+            cached = self.cache.get(cache_key_model, prompts[index])
+            assert cached is not None  # its first occurrence was just put
+            results[index] = _cache_hit_copy(cached)
+        assert all(response is not None for response in results)
+        return results  # type: ignore[return-value]
+
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Async-native :meth:`complete`: the cache lookup stays inline.
+
+        ``get``/``put`` are in-memory (or SQLite) operations measured in
+        microseconds, so they run on the event loop; only a miss awaits the
+        inner client.  Note two concurrent misses on the same prompt may both
+        reach the inner client — the async executor's dispatch-level dedup
+        (mirroring the thread path) is what prevents that race upstream.
+        """
+        cache_key_model = self._cache_key_model(model)
+        if temperature == 0.0:
+            cached = self.cache.get(cache_key_model, prompt)
+            if cached is not None:
+                return _cache_hit_copy(cached)
+        response = await call_acomplete(
+            self._client, prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+        if temperature == 0.0:
+            self.cache.put(cache_key_model, prompt, response)
+        return response
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Async-native batch with the same within-batch dedup as the sync path."""
+        if temperature != 0.0:
+            return await call_acomplete_batch(
+                self._client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+            )
+        cache_key_model = self._cache_key_model(model)
+        results: list[LLMResponse | None] = [None] * len(prompts)
+        pending_indices: list[int] = []
+        pending_prompts: list[str] = []
+        scheduled: set[str] = set()
+        duplicate_indices: list[int] = []
+        for index, prompt in enumerate(prompts):
+            if prompt in scheduled:
+                duplicate_indices.append(index)
+                continue
+            cached = self.cache.get(cache_key_model, prompt)
+            if cached is not None:
+                results[index] = _cache_hit_copy(cached)
+            else:
+                scheduled.add(prompt)
+                pending_indices.append(index)
+                pending_prompts.append(prompt)
+        if pending_prompts:
+            responses = await call_acomplete_batch(
                 self._client,
                 pending_prompts,
                 model=model,

@@ -16,7 +16,13 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.exceptions import ConfigurationError, ResponseParseError
-from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
+from repro.llm.base import (
+    LLMClient,
+    LLMResponse,
+    call_acomplete,
+    call_acomplete_batch,
+    call_complete_batch,
+)
 from repro.tokenizer.cost import Usage
 
 
@@ -115,6 +121,38 @@ class RetryingClient:
             for prompt, first in zip(prompts, first_attempts)
         ]
 
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Async-native :meth:`complete`: same retry loop, awaited attempts."""
+        return await self._aretry_loop(
+            prompt, None, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Async-native :meth:`complete_batch`: batched first attempt, awaited retries."""
+        first_attempts = await call_acomplete_batch(
+            self._client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+        return [
+            await self._aretry_loop(
+                prompt, first, model=model, temperature=temperature, max_tokens=max_tokens
+            )
+            for prompt, first in zip(prompts, first_attempts)
+        ]
+
     def _retry_loop(
         self,
         prompt: str,
@@ -135,23 +173,67 @@ class RetryingClient:
             if attempt == 0 and first_response is not None:
                 response = first_response
             else:
-                attempt_temperature = temperature if attempt == 0 else max(
-                    temperature, self.retry_temperature
-                )
                 response = self._client.complete(
-                    prompt, model=model, temperature=attempt_temperature, max_tokens=max_tokens
+                    prompt,
+                    model=model,
+                    temperature=self._attempt_temperature(attempt, temperature),
+                    max_tokens=max_tokens,
                 )
-            accumulated.add(response.usage)
-            accepted = self._accepted(response.text)
-            self._annotate_trace(response, attempt, accepted)
-            if accepted:
+            if self._settle_attempt(response, accumulated, attempt):
                 break
+        assert response is not None  # at least one attempt always runs
+        return self._finalize(response, accumulated, attempts)
+
+    async def _aretry_loop(
+        self,
+        prompt: str,
+        first_response: LLMResponse | None,
+        *,
+        model: str | None,
+        temperature: float,
+        max_tokens: int | None,
+    ) -> LLMResponse:
+        """The awaited twin of :meth:`_retry_loop` (same accounting helpers)."""
+        accumulated = Usage()
+        response: LLMResponse | None = None
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            attempts += 1
+            with self._stats_lock:
+                self.stats.attempts += 1
+            if attempt == 0 and first_response is not None:
+                response = first_response
+            else:
+                response = await call_acomplete(
+                    self._client,
+                    prompt,
+                    model=model,
+                    temperature=self._attempt_temperature(attempt, temperature),
+                    max_tokens=max_tokens,
+                )
+            if self._settle_attempt(response, accumulated, attempt):
+                break
+        assert response is not None  # at least one attempt always runs
+        return self._finalize(response, accumulated, attempts)
+
+    def _attempt_temperature(self, attempt: int, temperature: float) -> float:
+        return temperature if attempt == 0 else max(temperature, self.retry_temperature)
+
+    def _settle_attempt(self, response: LLMResponse, accumulated: Usage, attempt: int) -> bool:
+        """Account one attempt (usage, stats, trace); True when it was accepted."""
+        accumulated.add(response.usage)
+        accepted = self._accepted(response.text)
+        self._annotate_trace(response, attempt, accepted)
+        if not accepted:
             with self._stats_lock:
                 if attempt < self.max_retries:
                     self.stats.retries += 1
                 else:
                     self.stats.failures += 1
-        assert response is not None  # at least one attempt always runs
+        return accepted
+
+    @staticmethod
+    def _finalize(response: LLMResponse, accumulated: Usage, attempts: int) -> LLMResponse:
         response.usage = accumulated
         response.metadata = {**response.metadata, "attempts": attempts}
         return response

@@ -13,11 +13,20 @@ Two routing policies from the paper's agenda:
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
-from repro.llm.base import LLMClient, LLMResponse, call_complete_batch, sequential_complete_batch
+from repro.llm.base import (
+    LLMClient,
+    LLMResponse,
+    call_acomplete,
+    call_acomplete_batch,
+    call_complete_batch,
+    sequential_acomplete_batch,
+    sequential_complete_batch,
+)
 from repro.tokenizer.cost import Usage
 
 
@@ -134,6 +143,79 @@ class CascadeRouter:
             final.append(response)
         return final
 
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Async-native cascade: tiers awaited in order, same escalation rule."""
+        del model
+        accumulated = Usage()
+        response: LLMResponse | None = None
+        used_tiers: list[str] = []
+        for position, tier in enumerate(self.tiers):
+            response = await call_acomplete(
+                tier.client, prompt, model=tier.model, temperature=temperature, max_tokens=max_tokens
+            )
+            accumulated.add(response.usage)
+            used_tiers.append(tier.model)
+            if response.confidence >= self.confidence_threshold:
+                break
+            if position < len(self.tiers) - 1:
+                with self._escalation_lock:
+                    self.escalations += 1
+        assert response is not None  # guaranteed by the non-empty tier check
+        response.usage = accumulated
+        response.metadata = {**response.metadata, "cascade_tiers": used_tiers}
+        return response
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Async-native tier-batched cascade, element-wise equal to the sync one."""
+        del model
+        results: list[LLMResponse | None] = [None] * len(prompts)
+        accumulated = [Usage() for _ in prompts]
+        used_tiers: list[list[str]] = [[] for _ in prompts]
+        active = list(range(len(prompts)))
+        for position, tier in enumerate(self.tiers):
+            if not active:
+                break
+            responses = await call_acomplete_batch(
+                tier.client,
+                [prompts[index] for index in active],
+                model=tier.model,
+                temperature=temperature,
+                max_tokens=max_tokens,
+            )
+            still_unsettled: list[int] = []
+            for index, response in zip(active, responses):
+                accumulated[index].add(response.usage)
+                used_tiers[index].append(tier.model)
+                results[index] = response
+                if response.confidence >= self.confidence_threshold:
+                    continue
+                if position < len(self.tiers) - 1:
+                    with self._escalation_lock:
+                        self.escalations += 1
+                    still_unsettled.append(index)
+            active = still_unsettled
+        final: list[LLMResponse] = []
+        for index, response in enumerate(results):
+            assert response is not None  # every prompt settles by the last tier
+            response.usage = accumulated[index]
+            response.metadata = {**response.metadata, "cascade_tiers": used_tiers[index]}
+            final.append(response)
+        return final
+
 
 @dataclass
 class EnsembleResponse:
@@ -205,5 +287,66 @@ class EnsembleClient:
     ) -> list[LLMResponse]:
         """LLMClient-compatible batch call: the first member answers each prompt."""
         return sequential_complete_batch(
+            self, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+    async def acomplete_all(
+        self,
+        prompt: str,
+        *,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> EnsembleResponse:
+        """Async-native :meth:`complete_all`: members are awaited concurrently.
+
+        Unlike the cascade, the ensemble always asks every member, so their
+        calls are independent and can overlap in wall-clock time; the response
+        list still comes back in member order, so at temperature 0 the result
+        is element-wise identical to the sequential path.
+        """
+        responses = list(
+            await asyncio.gather(
+                *(
+                    call_acomplete(
+                        member.client,
+                        prompt,
+                        model=member.model,
+                        temperature=temperature,
+                        max_tokens=max_tokens,
+                    )
+                    for member in self.members
+                )
+            )
+        )
+        usage = Usage()
+        for response in responses:
+            usage.add(response.usage)
+        return EnsembleResponse(responses=responses, usage=usage)
+
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Async-native :meth:`complete`: the first member's awaited response."""
+        del model
+        ensemble = await self.acomplete_all(
+            prompt, temperature=temperature, max_tokens=max_tokens
+        )
+        return ensemble.responses[0]
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Async-native batch: the first member answers each prompt, in order."""
+        return await sequential_acomplete_batch(
             self, prompts, model=model, temperature=temperature, max_tokens=max_tokens
         )

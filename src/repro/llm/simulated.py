@@ -139,6 +139,37 @@ class SimulatedLLM:
             self, prompts, model=model, temperature=temperature, max_tokens=max_tokens
         )
 
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Async-native completion: the simulator is pure compute, no bridge thread.
+
+        A real provider client would await a network round-trip here; the
+        simulator answers in well under a millisecond, so running it inline on
+        the event loop is both correct and cheaper than hopping threads.
+        """
+        return self.complete(
+            prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Async-native batch: one inline simulated completion per prompt."""
+        return self.complete_batch(
+            prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
     # -- internals ------------------------------------------------------------
 
     def _generate(self, prompt: str, rng: random.Random, quality: float) -> tuple[str, float]:

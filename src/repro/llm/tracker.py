@@ -18,7 +18,13 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.llm.base import LLMClient, LLMResponse, call_complete_batch
+from repro.llm.base import (
+    LLMClient,
+    LLMResponse,
+    call_acomplete,
+    call_acomplete_batch,
+    call_complete_batch,
+)
 from repro.tokenizer.cost import CostModel, CostSummary, Usage
 
 
@@ -134,6 +140,36 @@ class TrackedClient:
     ) -> list[LLMResponse]:
         """Forward the batch to the inner client and record it atomically."""
         responses = call_complete_batch(
+            self._client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+        self.tracker.record_batch(responses)
+        return responses
+
+    async def acomplete(
+        self,
+        prompt: str,
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> LLMResponse:
+        """Async-native :meth:`complete`: await the inner client, then record."""
+        response = await call_acomplete(
+            self._client, prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+        self.tracker.record(response)
+        return response
+
+    async def acomplete_batch(
+        self,
+        prompts: list[str],
+        *,
+        model: str | None = None,
+        temperature: float = 0.0,
+        max_tokens: int | None = None,
+    ) -> list[LLMResponse]:
+        """Async-native batch: await the inner batch and record it atomically."""
+        responses = await call_acomplete_batch(
             self._client, prompts, model=model, temperature=temperature, max_tokens=max_tokens
         )
         self.tracker.record_batch(responses)

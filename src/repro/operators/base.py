@@ -22,6 +22,7 @@ from typing import Any, Callable, Sequence
 
 from repro.core.budget import Budget, BudgetLease
 from repro.core.executor import BatchExecutor, BatchRequest
+from repro.core.governor import ConcurrencyGovernor
 from repro.exceptions import UnknownStrategyError
 from repro.llm.base import LLMClient, LLMResponse
 from repro.llm.cache import CachedClient, ResponseCache
@@ -72,6 +73,11 @@ class BaseOperator:
             pipeline step instead passes its per-step
             :class:`~repro.core.budget.BudgetLease`, capping the operator at
             the step's apportioned share of the remaining dollars.
+        governor: optional shared admission point
+            (:class:`~repro.core.governor.ConcurrencyGovernor`) the
+            operator's executor routes every dispatch through; the engine
+            threads its session's governor here so all operators in a
+            pipeline respect one set of rate limits.
     """
 
     #: Operator name used in error messages; subclasses override.
@@ -86,6 +92,7 @@ class BaseOperator:
         use_cache: bool = True,
         max_concurrency: int = 1,
         budget: Budget | BudgetLease | None = None,
+        governor: ConcurrencyGovernor | None = None,
     ) -> None:
         self.model = model
         self.tracker = UsageTracker(cost_model=cost_model)
@@ -93,7 +100,7 @@ class BaseOperator:
         self._client = TrackedClient(inner, self.tracker)
         self.max_concurrency = max_concurrency
         self._executor = BatchExecutor(
-            self._client, max_concurrency=max_concurrency, budget=budget
+            self._client, max_concurrency=max_concurrency, budget=budget, governor=governor
         )
         self._strategies: dict[str, Callable[..., Any]] = {}
         self._strategy_info: dict[str, StrategyInfo] = {}

@@ -340,3 +340,64 @@ class TestBatchExecutorMap:
         assert all(outcome.skipped for outcome in outcomes)
         errors = [outcome.error for outcome in outcomes if outcome.error is not None]
         assert errors and all(isinstance(error, BudgetExceededError) for error in errors)
+
+    def test_budget_skip_outcome_parity_between_paths(self):
+        # Pin: every task an exhausted budget prevents from running carries
+        # the BudgetExceededError, on BOTH the sequential and the concurrent
+        # path — not just the first one the pre-dispatch check happened to
+        # reject.  Callers (the pipeline scheduler) rely on this to tell
+        # budget skips from sibling-failure skips without caring which path
+        # executed the batch.
+        def shapes(concurrency: int) -> list[tuple[bool, bool, str | None]]:
+            budget = Budget(limit=1.0)
+            budget.spent = 1.0
+            executor = BatchExecutor(
+                EchoClient(), max_concurrency=concurrency, budget=budget
+            )
+            outcomes = executor.map([lambda: 1, lambda: 2, lambda: 3, lambda: 4])
+            return [
+                (o.ok, o.skipped, type(o.error).__name__ if o.error else None)
+                for o in outcomes
+            ]
+
+        sequential = shapes(1)
+        concurrent = shapes(4)
+        assert sequential == concurrent
+        assert sequential == [(False, True, "BudgetExceededError")] * 4
+
+    def test_midway_exhaustion_attaches_error_to_every_budget_skip(self):
+        # Tasks charge the budget as they run; once it dies, every task the
+        # pre-dispatch check turned away must carry the error — and whatever
+        # the thread timing, the budget's death is always visible on at
+        # least one outcome (a skip with the error attached, or a mid-task
+        # breach reported as a failure).
+        for concurrency in CONCURRENCIES:
+            budget = Budget(limit=1.0)
+            executor = BatchExecutor(
+                EchoClient(), max_concurrency=concurrency, budget=budget
+            )
+
+            def spend() -> str:
+                budget.charge(0.5)
+                return "ran"
+
+            outcomes = executor.map([spend] * 6)
+            budget_errors = [
+                outcome
+                for outcome in outcomes
+                if isinstance(outcome.error, BudgetExceededError)
+            ]
+            assert budget_errors, f"budget death invisible at concurrency {concurrency}"
+            # A skipped outcome carries either nothing (a sibling failed
+            # mid-run first) or the budget error — never a different one.
+            for outcome in outcomes:
+                if outcome.skipped and outcome.error is not None:
+                    assert isinstance(outcome.error, BudgetExceededError)
+            # The sequential path is fully deterministic: two tasks fit the
+            # budget, the other four are budget-skips with the error.
+            if concurrency == 1:
+                assert [outcome.ok for outcome in outcomes] == [True] * 2 + [False] * 4
+                assert all(
+                    outcome.skipped and isinstance(outcome.error, BudgetExceededError)
+                    for outcome in outcomes[2:]
+                )

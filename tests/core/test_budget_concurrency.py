@@ -1,0 +1,188 @@
+"""Budget accounting under reservations and concurrent charging.
+
+Pins the :meth:`Budget.reserve` over-commit fix — reservations are *holds*
+that leave ``remaining``/``can_afford`` immediately, sibling reservations
+carve successively smaller pools, re-reserving a name releases the old hold,
+and :meth:`Budget.absorb` exchanges the hold for the child's actual spend —
+plus a multi-threaded hammer over sibling :class:`BudgetLease` objects
+sharing one parent: the parent's total equals the sum of the lease spends
+exactly, and each breaching lease raises exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.budget import Budget, BudgetLease
+from repro.exceptions import BudgetExceededError
+
+
+class TestReservationHolds:
+    def test_reservation_leaves_remaining_immediately(self):
+        budget = Budget(limit=100.0)
+        budget.reserve("a", 0.5)
+        assert budget.reserved == pytest.approx(50.0)
+        assert budget.remaining == pytest.approx(50.0)
+
+    def test_sibling_reservations_cannot_jointly_overcommit(self):
+        budget = Budget(limit=100.0)
+        first = budget.reserve("a", 0.5)
+        second = budget.reserve("b", 0.5)
+        # The second half-fraction is carved from the *remaining* 50, not the
+        # original 100 — the old behaviour handed out 50 + 50 against a
+        # 100-dollar limit and then forgot both holds.
+        assert first.limit == pytest.approx(50.0)
+        assert second.limit == pytest.approx(25.0)
+        assert budget.remaining == pytest.approx(25.0)
+        assert first.limit + second.limit + budget.remaining <= 100.0 + 1e-9
+
+    def test_can_afford_counts_reservations(self):
+        budget = Budget(limit=100.0)
+        budget.reserve("a", 0.8)
+        assert not budget.can_afford(30.0)
+        assert budget.can_afford(20.0)
+
+    def test_reserving_the_whole_budget_leaves_nothing(self):
+        budget = Budget(limit=10.0)
+        child = budget.reserve("all", 1.0)
+        assert child.limit == pytest.approx(10.0)
+        assert budget.remaining == 0.0
+        assert not budget.can_afford(0.01)
+
+    def test_re_reservation_releases_the_old_hold(self):
+        budget = Budget(limit=100.0)
+        budget.reserve("a", 0.5)
+        replacement = budget.reserve("a", 0.5)
+        # The superseded hold is released before the replacement is sized, so
+        # re-reserving the same name does not leak 50 held dollars forever.
+        assert replacement.limit == pytest.approx(50.0)
+        assert budget.reserved == pytest.approx(50.0)
+        assert budget.remaining == pytest.approx(50.0)
+
+    def test_absorb_exchanges_hold_for_actual_spend(self):
+        budget = Budget(limit=100.0)
+        child = budget.reserve("a", 0.5)
+        child.charge(10.0)
+        budget.absorb(child)
+        assert budget.spent == pytest.approx(10.0)
+        assert budget.reserved == 0.0
+        # The unspent 40 of the reservation returned to the pool.
+        assert budget.remaining == pytest.approx(90.0)
+
+    def test_absorb_unreserved_child_just_charges(self):
+        budget = Budget(limit=100.0)
+        stray = Budget(limit=5.0)
+        stray.charge(5.0)
+        budget.absorb(stray)
+        assert budget.spent == pytest.approx(5.0)
+        assert budget.reserved == 0.0
+
+    def test_release_returns_held_amount_and_is_idempotent(self):
+        budget = Budget(limit=100.0)
+        budget.reserve("a", 0.25)
+        assert budget.release("a") == pytest.approx(25.0)
+        assert budget.release("a") == 0.0
+        assert budget.remaining == pytest.approx(100.0)
+
+    def test_unlimited_parent_reservations_stay_unlimited(self):
+        budget = Budget()
+        child = budget.reserve("a", 0.5)
+        assert child.unlimited
+        assert budget.remaining == float("inf")
+
+    def test_absorb_into_a_different_parent_keeps_original_hold(self):
+        origin = Budget(limit=100.0)
+        other = Budget(limit=100.0)
+        child = origin.reserve("a", 0.5)
+        child.charge(10.0)
+        other.absorb(child)
+        # ``other`` never held the reservation, so it only gets the charge;
+        # the hold stays with ``origin`` until released there.
+        assert other.spent == pytest.approx(10.0)
+        assert origin.reserved == pytest.approx(50.0)
+
+
+class TestLeaseHammer:
+    """Sibling leases charged from many threads over one parent."""
+
+    LEASES = 16
+    CHARGE = 0.01
+    ALLOCATION = 0.10  # 10 charges fit, the 11th breaches
+
+    def test_parent_total_equals_sum_of_lease_spends(self):
+        parent = Budget(limit=float(self.LEASES))  # roomy: leases breach first
+        leases = [parent.lease(self.ALLOCATION) for _ in range(self.LEASES)]
+        breaches = [0] * self.LEASES
+        barrier = threading.Barrier(self.LEASES)
+
+        def hammer(index: int, lease: BudgetLease) -> None:
+            barrier.wait()
+            # Charge until the lease stops us, exactly like an executor's
+            # unit-task loop; the first breach ends the loop.
+            for _ in range(1000):
+                try:
+                    lease.charge(self.CHARGE)
+                except BudgetExceededError:
+                    breaches[index] += 1
+                    break
+
+        threads = [
+            threading.Thread(target=hammer, args=(index, lease))
+            for index, lease in enumerate(leases)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Every breaching lease raised exactly once, every charge that the
+        # leases recorded reached the parent, and nothing was double-counted.
+        assert breaches == [1] * self.LEASES
+        assert parent.spent == pytest.approx(sum(lease.spent for lease in leases))
+        for lease in leases:
+            # 10 in-allocation charges plus the one recorded breaching charge.
+            assert lease.spent == pytest.approx(self.ALLOCATION + self.CHARGE)
+
+    def test_concurrent_charges_on_one_budget_never_lose_updates(self):
+        budget = Budget(limit=10_000.0)
+        threads = 8
+        per_thread = 500
+        barrier = threading.Barrier(threads)
+
+        def charge() -> None:
+            barrier.wait()
+            for _ in range(per_thread):
+                budget.charge(0.001)
+
+        workers = [threading.Thread(target=charge) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert budget.spent == pytest.approx(threads * per_thread * 0.001)
+
+    def test_concurrent_reservations_respect_the_limit(self):
+        budget = Budget(limit=100.0)
+        children: list[Budget] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def reserve(index: int) -> None:
+            barrier.wait()
+            child = budget.reserve(f"r{index}", 0.5)
+            with lock:
+                children.append(child)
+
+        workers = [threading.Thread(target=reserve, args=(index,)) for index in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        total_granted = sum(child.limit for child in children)
+        # However the races interleave, the holds never promise more than
+        # the limit, and the parent's view stays consistent.
+        assert total_granted <= 100.0 + 1e-9
+        assert budget.reserved == pytest.approx(total_granted)
+        assert budget.remaining == pytest.approx(100.0 - total_granted)

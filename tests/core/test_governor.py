@@ -1,0 +1,291 @@
+"""Tests for the rate-limited admission layer (`repro.core.governor`).
+
+Covers the token bucket's virtual-scheduling pacing, the governor's RPM/TPM
+caps (demonstrated wall-clock-free with an injected clock and sleep), the
+in-flight slot semaphore shared by sync and async dispatch, the adaptive
+backoff driven by :class:`~repro.exceptions.RateLimitError` (including
+``retry_after`` hints), and the executor integration that feeds it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.executor import BatchExecutor
+from repro.core.governor import (
+    ConcurrencyGovernor,
+    ModelRate,
+    TokenBucket,
+    estimated_prompt_tokens,
+    is_rate_limit,
+)
+from repro.exceptions import ConfigurationError, RateLimitError, ResponseParseError
+from repro.llm.base import LLMResponse
+from repro.tokenizer.cost import Usage
+
+
+class FakeClock:
+    """A controllable monotonic clock whose sleep advances virtual time."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_admits_first_call_immediately(self):
+        clock = FakeClock()
+        bucket = TokenBucket(60, clock=clock)  # 1/s, burst defaults to 1
+        assert bucket.reserve() == 0.0
+
+    def test_reservations_pace_linearly_at_the_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(60, burst=1, clock=clock)
+        # Four instantaneous reservations: the first rides the burst, the
+        # k-th over-budget one owes k refill intervals (1s at 60/min).
+        waits = [bucket.reserve() for _ in range(4)]
+        assert waits == [0.0, 1.0, 2.0, 3.0]
+
+    def test_refill_restores_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(60, burst=1, clock=clock)
+        bucket.reserve()
+        clock.now += 2.0  # refill past full; capacity stays capped at burst
+        assert bucket.reserve() == 0.0
+        assert bucket.reserve() == pytest.approx(1.0)
+
+    def test_token_weighted_reservations(self):
+        clock = FakeClock()
+        bucket = TokenBucket(600, burst=100, clock=clock)  # 10 tokens/s
+        assert bucket.reserve(100) == 0.0  # burst covers it
+        assert bucket.reserve(50) == pytest.approx(5.0)  # 50 tokens / 10 per s
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(60, burst=0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(60).reserve(-1)
+
+
+class TestEstimatedPromptTokens:
+    def test_chars_over_four_with_floor(self):
+        assert estimated_prompt_tokens("") == 1
+        assert estimated_prompt_tokens("abcd" * 25) == 25
+
+
+class TestRpmCap:
+    """The governor demonstrably caps dispatch at the configured RPM."""
+
+    def test_dispatch_rate_never_exceeds_rpm(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(
+            rpm=120, burst=1, clock=clock, sleep=clock.sleep
+        )
+        stamps = []
+        for _ in range(13):
+            with governor.admit("m"):
+                stamps.append(clock.now)
+        # 13 admissions at 120 RPM (0.5s spacing), the first free via the
+        # burst: the run takes 12 intervals of virtual time, i.e. dispatch
+        # proceeded at exactly — never above — the configured rate.
+        assert stamps[-1] == pytest.approx(12 * 0.5)
+        spacings = [b - a for a, b in zip(stamps, stamps[1:])]
+        assert all(spacing >= 0.5 - 1e-9 for spacing in spacings)
+        assert governor.stats.admitted == 13
+        assert governor.stats.throttled == 12
+
+    def test_tpm_quota_paces_by_estimated_tokens(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(
+            tpm=600, burst=10, clock=clock, sleep=clock.sleep
+        )
+        with governor.admit("m", estimated_tokens=10):
+            pass
+        assert clock.now == 0.0  # burst covered it
+        with governor.admit("m", estimated_tokens=20):
+            pass
+        # 20 tokens over an empty bucket at 10 tokens/s → a 2s wait.
+        assert clock.now == pytest.approx(2.0)
+
+    def test_per_model_overrides_have_independent_buckets(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(
+            rpm=60,
+            model_rates={"fast": ModelRate(rpm=6000)},
+            burst=1,
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        with governor.admit("slow"):
+            pass
+        with governor.admit("slow"):
+            pass
+        slow_elapsed = clock.now
+        assert slow_elapsed == pytest.approx(1.0)  # 60 RPM → 1s spacing
+        for _ in range(10):
+            with governor.admit("fast"):
+                pass
+        # 6000 RPM → 10ms spacing; the slow model's bucket is untouched.
+        assert clock.now - slow_elapsed == pytest.approx(9 * 0.01)
+
+    def test_no_quotas_means_no_waiting(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(clock=clock, sleep=clock.sleep)
+        for _ in range(100):
+            with governor.admit("m", estimated_tokens=1000):
+                pass
+        assert clock.now == 0.0
+        assert governor.stats.throttled == 0
+
+
+class TestBackoff:
+    def test_exponential_schedule_without_hint(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(
+            backoff_initial=0.5, backoff_multiplier=2.0, backoff_max=3.0, clock=clock
+        )
+        delays = [governor.record_failure(RateLimitError()) for _ in range(4)]
+        assert delays == [0.5, 1.0, 2.0, 3.0]  # capped at backoff_max
+
+    def test_retry_after_hint_dominates_when_larger(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(backoff_initial=0.5, clock=clock)
+        delay = governor.record_failure(RateLimitError(retry_after=7.5))
+        assert delay == 7.5
+        assert governor.cooldown_remaining == pytest.approx(7.5)
+
+    def test_success_resets_the_streak(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(backoff_initial=0.5, clock=clock)
+        governor.record_failure(RateLimitError())
+        governor.record_failure(RateLimitError())
+        governor.record_success()
+        assert governor.record_failure(RateLimitError()) == 0.5
+
+    def test_cooldown_delays_the_next_admission(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(
+            backoff_initial=2.0, clock=clock, sleep=clock.sleep
+        )
+        governor.record_failure(RateLimitError())
+        with governor.admit("m"):
+            pass
+        assert clock.now == pytest.approx(2.0)
+        assert governor.stats.rate_limit_events == 1
+
+    def test_invalid_backoff_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConcurrencyGovernor(backoff_initial=0.0)
+        with pytest.raises(ConfigurationError):
+            ConcurrencyGovernor(backoff_multiplier=0.5)
+
+
+class TestInFlightSlots:
+    def test_slot_cap_bounds_simultaneous_dispatch(self):
+        governor = ConcurrencyGovernor(max_in_flight=2)
+        peak = 0
+        peak_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def dispatch() -> None:
+            barrier.wait()
+            with governor.admit("m"):
+                with peak_lock:
+                    nonlocal peak
+                    peak = max(peak, governor.in_flight)
+                time.sleep(0.005)
+
+        threads = [threading.Thread(target=dispatch) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert peak <= 2
+        assert governor.stats.max_in_flight <= 2
+        assert governor.in_flight == 0  # every slot was released
+
+    def test_invalid_slot_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConcurrencyGovernor(max_in_flight=0)
+
+
+class RateLimitedClient:
+    """Fails with RateLimitError for the first ``failures`` calls."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def complete(self, prompt, *, model=None, temperature=0.0, max_tokens=None):
+        with self._lock:
+            self.calls += 1
+            calls = self.calls
+        if calls <= self.failures:
+            raise RateLimitError(retry_after=0.0)
+        return LLMResponse(text=f"ok:{prompt}", model=model or "m", usage=Usage(1, 1, 1))
+
+
+class TestExecutorIntegration:
+    def test_rate_limit_failures_feed_the_backoff(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(
+            backoff_initial=1.0, clock=clock, sleep=clock.sleep
+        )
+        client = RateLimitedClient(failures=2)
+        executor = BatchExecutor(client, governor=governor)
+        with pytest.raises(RateLimitError):
+            executor.run(["a"])
+        with pytest.raises(RateLimitError):
+            executor.run(["a"])
+        assert governor.stats.rate_limit_events == 2
+        # The accumulated cooldown is what the third dispatch waits out.
+        before = clock.now
+        executor.run(["a"])
+        assert clock.now > before
+        assert governor.cooldown_remaining == 0.0 or governor.stats.admitted == 3
+
+    def test_non_rate_limit_failures_do_not_back_off(self):
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(clock=clock, sleep=clock.sleep)
+
+        class ParseFailClient:
+            def complete(self, prompt, **kwargs):
+                raise ResponseParseError("malformed")
+
+        executor = BatchExecutor(ParseFailClient(), governor=governor)
+        with pytest.raises(ResponseParseError):
+            executor.run(["a"])
+        assert governor.stats.rate_limit_events == 0
+        assert governor.cooldown_remaining == 0.0
+
+    def test_sequential_batch_respects_the_governor(self):
+        # A homogeneous batch normally takes the native complete_batch fast
+        # path; with a governor attached it must fall back to per-call
+        # admission so the quota actually binds.
+        clock = FakeClock()
+        governor = ConcurrencyGovernor(rpm=60, burst=1, clock=clock, sleep=clock.sleep)
+        client = RateLimitedClient(failures=0)
+        executor = BatchExecutor(client, governor=governor)
+        executor.run(["a", "b", "c"])
+        assert client.calls == 3
+        assert clock.now == pytest.approx(2.0)  # 3 calls at 1/s, first free
+
+
+class TestIsRateLimit:
+    def test_taxonomy_discrimination(self):
+        assert is_rate_limit(RateLimitError())
+        assert not is_rate_limit(ValueError("429"))
+        assert not is_rate_limit(ResponseParseError("nope"))
