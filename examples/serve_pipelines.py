@@ -1,0 +1,150 @@
+"""The multi-tenant pipeline service, driven fully in-process.
+
+Run with:  python examples/serve_pipelines.py
+
+The service turns the engine into a job-oriented HTTP system: tenants
+authenticate with API keys, submit pipelines as JSON, and get back job ids
+they poll or stream.  Everything below runs through the real ASGI app via
+the in-process :class:`repro.service.ServiceClient` — no sockets, no
+server dependency.  (To serve the same app over real HTTP, install the
+``serve`` extra and call ``repro.service.serve(app)``.)
+
+The walkthrough plays four scenarios:
+
+1. **Quote, then submit** — price a pipeline without running it, submit it,
+   poll the job to completion, and read the per-step reports.
+2. **Streamed progress** — replay the job's lifecycle as server-sent
+   events: status transitions, each settled step, the final outcome.
+3. **Admission control** — a tenant whose budget cannot cover the quote is
+   refused up front with ``402`` and the full price in the error body,
+   before a single LLM call is spent.
+4. **Tenant isolation** — a second tenant runs the same pipeline with its
+   own budget, cache namespace, and usage accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from repro import SimulatedLLM, Store
+from repro.core.spec import FilterSpec, PipelineSpec, PipelineStep, SortSpec
+from repro.core.spec_codec import pipeline_to_dict
+from repro.llm.oracle import Oracle
+from repro.service import ServiceApp, ServiceClient, TenantConfig, TenantRegistry
+
+WORDS = ["apple", "banana", "cherry", "damson", "elder", "fig"]
+PREDICATE = "starts early in the alphabet"
+MODEL = "sim-gpt-3.5-turbo"
+
+
+def make_llm() -> SimulatedLLM:
+    oracle = Oracle()
+    oracle.register_key("alphabetical order", key=lambda item: item)
+    oracle.register_predicate(PREDICATE, lambda item: item[0] in "abc")
+    return SimulatedLLM(oracle, seed=11)
+
+
+def pipeline_payload() -> dict:
+    """The JSON wire form a real HTTP client would POST."""
+    return pipeline_to_dict(
+        PipelineSpec(
+            name="screen-and-rank",
+            steps=[
+                PipelineStep(
+                    name="screen",
+                    task=FilterSpec(
+                        items=WORDS, predicate=PREDICATE, strategy="per_item"
+                    ),
+                ),
+                PipelineStep(
+                    name="rank",
+                    task=SortSpec(
+                        items=WORDS,
+                        criterion="alphabetical order",
+                        strategy="pairwise",
+                    ),
+                    depends_on=("screen",),
+                ),
+            ],
+        )
+    )
+
+
+async def poll(client: ServiceClient, job_id: str) -> dict:
+    while True:
+        record = (await client.get(f"/v1/jobs/{job_id}")).json()
+        if record["status"] in ("succeeded", "failed", "stopped"):
+            return record
+        await asyncio.sleep(0.01)
+
+
+async def main() -> None:
+    store_path = Path(tempfile.mkdtemp()) / "service-store.db"
+    registry = TenantRegistry(
+        make_llm(),
+        [
+            TenantConfig(
+                tenant_id="acme",
+                api_key="acme-secret",
+                budget_dollars=1.0,
+                default_model=MODEL,
+            ),
+            TenantConfig(
+                tenant_id="shoestring",
+                api_key="shoestring-secret",
+                budget_dollars=0.000001,  # cannot afford anything
+                default_model=MODEL,
+            ),
+        ],
+        store=Store(store_path),
+    )
+    app = ServiceApp(registry)
+    acme = ServiceClient(app, api_key="acme-secret")
+
+    # -- 1. quote, submit, poll ------------------------------------------------
+    print("=== 1. quote, then submit ===")
+    quoted = await acme.post("/v1/pipelines/quote", json_body=pipeline_payload())
+    quote = quoted.json()["quote"]
+    print(f"quoted: {quote['total_calls']} calls, ${quote['total_dollars']:.6f}")
+
+    submitted = await acme.post("/v1/pipelines", json_body=pipeline_payload())
+    job_id = submitted.json()["job_id"]
+    print(f"submitted: HTTP {submitted.status}, job {job_id[:12]}…")
+    record = await poll(acme, job_id)
+    print(f"finished: {record['status']}")
+    for name, step in sorted(record["steps"].items()):
+        print(f"  step {name!r}: {step['status']}, {step['calls']} calls, "
+              f"${step['cost']:.6f}")
+
+    # -- 2. the event stream ---------------------------------------------------
+    print("\n=== 2. the job's event stream ===")
+    events = await acme.get(f"/v1/jobs/{job_id}/events")
+    for event in events.sse_events():
+        print(f"  {event}")
+
+    # -- 3. admission control --------------------------------------------------
+    print("\n=== 3. an unaffordable submission is refused up front ===")
+    broke = ServiceClient(app, api_key="shoestring-secret")
+    refused = await broke.post("/v1/pipelines", json_body=pipeline_payload())
+    body = refused.json()
+    print(f"HTTP {refused.status}: {body['error']['message']}")
+    print(f"the price it could not pay: ${body['quote']['total_dollars']:.6f} "
+          "(computed without spending a call)")
+
+    # -- 4. usage accounting, per tenant --------------------------------------
+    print("\n=== 4. per-tenant usage ===")
+    usage = (await acme.get("/v1/tenants/acme/usage")).json()
+    budget = usage["budget"]
+    print(f"acme spent ${budget['spent']:.6f} of ${budget['limit']:.2f} "
+          f"(${budget['remaining']:.6f} left)")
+    print(f"traced calls: {usage['traces']['calls']}, "
+          f"cache hits: {usage['traces']['cache_hits']}")
+
+    await app.shutdown()
+    registry.store.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

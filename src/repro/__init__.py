@@ -40,9 +40,30 @@ from repro.core.spec import (
     SortSpec,
     TopKSpec,
 )
+from repro.core.spec_codec import (
+    pipeline_from_dict,
+    pipeline_from_json,
+    pipeline_to_dict,
+    pipeline_to_json,
+    spec_from_dict,
+    spec_to_dict,
+)
 from repro.core.workflow import Workflow
 from repro.query import Dataset, LogicalPlan, QueryResult, compile_plan, optimize
-from repro.store import PersistentResponseCache, Store, WorkloadProfile, fingerprint_spec
+from repro.service import (
+    ServiceApp,
+    ServiceClient,
+    TenantConfig,
+    TenantRegistry,
+)
+from repro.store import (
+    JobRecord,
+    PersistentResponseCache,
+    Store,
+    StoreNamespace,
+    WorkloadProfile,
+    fingerprint_spec,
+)
 from repro.trace import TraceRecord, Tracer, replay_trace, summarize_records, trace_label
 from repro.exceptions import (
     BudgetExceededError,
@@ -86,6 +107,7 @@ __all__ = [
     "HashingEmbedder",
     "ImputeOperator",
     "ImputeSpec",
+    "JobRecord",
     "JoinSpec",
     "LogicalPlan",
     "Oracle",
@@ -100,12 +122,17 @@ __all__ = [
     "ResolveSpec",
     "RuntimeStats",
     "ResponseParseError",
+    "ServiceApp",
+    "ServiceClient",
     "SimulatedLLM",
     "SortOperator",
     "SortSpec",
     "SpecError",
     "Store",
     "StoreError",
+    "StoreNamespace",
+    "TenantConfig",
+    "TenantRegistry",
     "TopKSpec",
     "TraceRecord",
     "Tracer",
@@ -116,7 +143,13 @@ __all__ = [
     "compile_plan",
     "fingerprint_spec",
     "optimize",
+    "pipeline_from_dict",
+    "pipeline_from_json",
+    "pipeline_to_dict",
+    "pipeline_to_json",
     "replay_trace",
+    "spec_from_dict",
+    "spec_to_dict",
     "summarize_records",
     "trace_label",
 ]

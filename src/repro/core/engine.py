@@ -31,7 +31,8 @@ pending steps.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.core.budget import Budget, BudgetLease
 from repro.core.physical import PhysicalPlan, PhysicalPlanner, ResolvedStrategy
@@ -50,7 +51,7 @@ from repro.core.spec import (
     TopKSpec,
 )
 from repro.core.governor import ConcurrencyGovernor
-from repro.core.workflow import Workflow, WorkflowReport, WorkflowStep
+from repro.core.workflow import StepReport, Workflow, WorkflowReport, WorkflowStep
 from repro.exceptions import SpecError, StoreError
 from repro.llm.base import LLMClient
 from repro.llm.registry import ModelRegistry
@@ -69,6 +70,18 @@ from repro.trace import trace_label
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import Store
+
+
+@dataclass
+class _PipelinePrep:
+    """What the sync and async pipeline entry points share per run."""
+
+    workflow: Workflow
+    quote: PipelineQuote | None
+    store: "Store | None"
+    restored: set[str]
+    spec_runner: Any
+    on_step: Callable[[StepReport], None] | None
 
 
 class DeclarativeEngine:
@@ -399,6 +412,7 @@ class DeclarativeEngine:
         max_concurrency: int | None = None,
         store: "Store | None" = None,
         scheduler: str = "threads",
+        on_step: "Callable[[StepReport], None] | None" = None,
     ) -> WorkflowReport:
         """Run a declarative pipeline (or a pre-built workflow) as a DAG.
 
@@ -430,7 +444,78 @@ class DeclarativeEngine:
                 :meth:`~repro.core.workflow.Workflow.execute`.  The async
                 scheduler awaits native-async clients on one event loop and
                 bridges the engine's sync spec steps into worker threads.
+            on_step: optional observer called with each step's
+                :class:`~repro.core.workflow.StepReport` as it settles
+                (``restored`` already stamped); the service layer streams
+                these to polling clients.
         """
+        prep = self._prepare_pipeline(pipeline, quote, store, on_step)
+        try:
+            report = prep.workflow.execute(
+                self.session,
+                max_concurrency=max_concurrency,
+                spec_runner=prep.spec_runner,
+                quote=prep.quote,
+                scheduler=scheduler,
+                on_step=prep.on_step,
+            )
+        except BaseException:
+            # A crashed run's completed steps already checkpointed
+            # themselves; their observations are just as real, so the
+            # profile survives the failure too (the resumed process
+            # warm-starts from everything that did happen).  Best
+            # effort only: a store failure here (locked db, full disk)
+            # must not replace the pipeline's real exception.
+            try:
+                self._save_profile(prep.store)
+            except Exception:
+                pass
+            raise
+        return self._finish_pipeline(report, prep)
+
+    async def run_pipeline_async(
+        self,
+        pipeline: PipelineSpec | Workflow,
+        *,
+        quote: PipelineQuote | None = None,
+        max_concurrency: int | None = None,
+        store: "Store | None" = None,
+        on_step: "Callable[[StepReport], None] | None" = None,
+    ) -> WorkflowReport:
+        """Awaitable :meth:`run_pipeline` for callers already inside a loop.
+
+        ``run_pipeline(..., scheduler="async")`` drives its own event loop
+        via ``asyncio.run`` and therefore cannot be called from a running
+        loop (an ASGI request handler, the service's job manager).  This
+        entry point awaits :meth:`Workflow.execute_async` directly instead:
+        same quoting, checkpointing, profile persistence, and report — the
+        only difference is who owns the loop.
+        """
+        prep = self._prepare_pipeline(pipeline, quote, store, on_step)
+        try:
+            report = await prep.workflow.execute_async(
+                self.session,
+                max_concurrency=max_concurrency,
+                spec_runner=prep.spec_runner,
+                quote=prep.quote,
+                on_step=prep.on_step,
+            )
+        except BaseException:
+            try:
+                self._save_profile(prep.store)
+            except Exception:
+                pass
+            raise
+        return self._finish_pipeline(report, prep)
+
+    def _prepare_pipeline(
+        self,
+        pipeline: PipelineSpec | Workflow,
+        quote: PipelineQuote | None,
+        store: "Store | None",
+        on_step: "Callable[[StepReport], None] | None",
+    ) -> "_PipelinePrep":
+        """The shared setup of the sync and async pipeline entry points."""
         if isinstance(pipeline, Workflow):
             workflow = pipeline
         else:
@@ -441,7 +526,7 @@ class DeclarativeEngine:
             store = getattr(self.session, "store", None)
         restored: set[str] = set()
         if store is None:
-            spec_runner = self._run_pipeline_step
+            spec_runner: Any = self._run_pipeline_step
         else:
 
             def spec_runner(
@@ -449,31 +534,33 @@ class DeclarativeEngine:
             ) -> Any:
                 return self._run_checkpointed_step(store, restored, step, inputs, lease)
 
-        try:
-            report = workflow.execute(
-                self.session,
-                max_concurrency=max_concurrency,
-                spec_runner=spec_runner,
-                quote=quote,
-                scheduler=scheduler,
-            )
-        except BaseException:
-            # A crashed run's completed steps already checkpointed
-            # themselves; their observations are just as real, so the
-            # profile survives the failure too (the resumed process
-            # warm-starts from everything that did happen).  Best
-            # effort only: a store failure here (locked db, full disk)
-            # must not replace the pipeline's real exception.
-            try:
-                self._save_profile(store)
-            except Exception:
-                pass
-            raise
-        for name in restored:
+        observer = on_step
+        if on_step is not None:
+
+            def observer(step_report: "StepReport") -> None:
+                # The engine stamps ``restored`` on the final report only
+                # after the run; events should already carry it.
+                if step_report.name in restored:
+                    step_report.restored = True
+                on_step(step_report)
+
+        return _PipelinePrep(
+            workflow=workflow,
+            quote=quote,
+            store=store,
+            restored=restored,
+            spec_runner=spec_runner,
+            on_step=observer,
+        )
+
+    def _finish_pipeline(
+        self, report: WorkflowReport, prep: "_PipelinePrep"
+    ) -> WorkflowReport:
+        for name in prep.restored:
             report.step_reports[name].restored = True
         # Persist the (possibly newly grown) observations so the next
         # session warm-starts its quotes from this run.
-        self._save_profile(store)
+        self._save_profile(prep.store)
         return report
 
     def _save_profile(self, store: "Store | None") -> None:

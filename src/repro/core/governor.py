@@ -34,7 +34,7 @@ import asyncio
 import threading
 import time
 from contextlib import asynccontextmanager, contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import AsyncIterator, Callable, Iterator
 
 from repro.exceptions import ConfigurationError, RateLimitError
@@ -112,13 +112,30 @@ class ModelRate:
 
 @dataclass
 class GovernorStats:
-    """Counters describing one governor's admission history."""
+    """Counters describing one governor's admission history.
+
+    The live instance on a governor is mutated under the governor's lock;
+    concurrent readers (the service's usage endpoint, monitoring threads)
+    should take :meth:`ConcurrencyGovernor.stats_snapshot` instead of
+    reading the live fields, so every field of what they see comes from one
+    consistent instant.
+    """
 
     admitted: int = 0
     throttled: int = 0
     wait_seconds: float = 0.0
     rate_limit_events: int = 0
     max_in_flight: int = 0
+
+    def to_dict(self) -> dict[str, float | int]:
+        """A JSON-shaped view (what the service's usage endpoint returns)."""
+        return {
+            "admitted": self.admitted,
+            "throttled": self.throttled,
+            "wait_seconds": self.wait_seconds,
+            "rate_limit_events": self.rate_limit_events,
+            "max_in_flight": self.max_in_flight,
+        }
 
 
 class ConcurrencyGovernor:
@@ -243,6 +260,19 @@ class ConcurrencyGovernor:
             self._cooldown_until = max(self._cooldown_until, self._clock() + delay)
             self.stats.rate_limit_events += 1
             return delay
+
+    def stats_snapshot(self) -> GovernorStats:
+        """A lock-consistent copy of the admission counters.
+
+        Taken under the same lock every mutation holds, so the returned
+        instance is internally consistent (``throttled`` never exceeds
+        ``admitted``, ``wait_seconds`` matches the throttles it counts) and
+        safe to read field-by-field from a concurrent request handler while
+        dispatches keep flowing.  The copy is detached: later admissions do
+        not mutate it.
+        """
+        with self._lock:
+            return replace(self.stats)
 
     @property
     def in_flight(self) -> int:

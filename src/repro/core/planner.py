@@ -87,6 +87,38 @@ class CostEstimate:
     dollars: float
     seconds: float | None = None
 
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-shaped view (what the service layer returns in quotes)."""
+        return {
+            "strategy": self.strategy,
+            "calls": self.calls,
+            "usage": {
+                "prompt_tokens": self.usage.prompt_tokens,
+                "completion_tokens": self.usage.completion_tokens,
+                "calls": self.usage.calls,
+            },
+            "dollars": self.dollars,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CostEstimate":
+        usage = data.get("usage") or {}
+        if not isinstance(usage, Mapping):
+            raise SpecError("cost estimate usage must be an object")
+        seconds = data.get("seconds")
+        return cls(
+            strategy=str(data.get("strategy", "")),
+            calls=int(data.get("calls", 0)),  # type: ignore[arg-type]
+            usage=Usage(
+                prompt_tokens=int(usage.get("prompt_tokens", 0)),
+                completion_tokens=int(usage.get("completion_tokens", 0)),
+                calls=int(usage.get("calls", 0)),
+            ),
+            dollars=float(data.get("dollars", 0.0)),  # type: ignore[arg-type]
+            seconds=None if seconds is None else float(seconds),  # type: ignore[arg-type]
+        )
+
 
 @dataclass(frozen=True)
 class PipelineQuote:
@@ -138,6 +170,44 @@ class PipelineQuote:
             if estimate.seconds is not None
         ]
         return sum(timed) if timed else None
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-shaped view: per-step estimates, notes, and the totals.
+
+        The ``total_*`` entries are derived from the steps and included for
+        the convenience of HTTP clients; :meth:`from_dict` recomputes them
+        from the steps rather than trusting the payload.
+        """
+        total_usage = self.total_usage
+        return {
+            "pipeline": self.pipeline,
+            "steps": {name: estimate.to_dict() for name, estimate in self.steps.items()},
+            "unquoted": list(self.unquoted),
+            "notes": list(self.notes),
+            "total_calls": self.total_calls,
+            "total_dollars": self.total_dollars,
+            "total_seconds": self.total_seconds,
+            "total_usage": {
+                "prompt_tokens": total_usage.prompt_tokens,
+                "completion_tokens": total_usage.completion_tokens,
+                "calls": total_usage.calls,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PipelineQuote":
+        steps = data.get("steps") or {}
+        if not isinstance(steps, Mapping):
+            raise SpecError("pipeline quote steps must be an object")
+        return cls(
+            pipeline=str(data.get("pipeline", "pipeline")),
+            steps={
+                str(name): CostEstimate.from_dict(estimate)
+                for name, estimate in steps.items()
+            },
+            unquoted=tuple(str(name) for name in data.get("unquoted", ())),  # type: ignore[union-attr]
+            notes=tuple(str(note) for note in data.get("notes", ())),  # type: ignore[union-attr]
+        )
 
 
 class CostPlanner:

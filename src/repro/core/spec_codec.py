@@ -1,0 +1,354 @@
+"""JSON codecs for declarative task and pipeline specs.
+
+The HTTP service layer (:mod:`repro.service`) accepts whole pipelines as
+JSON bodies and persists submitted specs in the store's job table, so every
+spec the engine can execute needs a faithful wire form.  The codec here is
+deliberately explicit — one arm per spec type, mirroring the checkpoint
+codecs of :mod:`repro.store.checkpoint` — rather than pickling or reflecting
+over arbitrary objects: a JSON payload received over the network must never
+be able to smuggle a callable or an unserialisable value into the engine.
+
+Two spec features therefore do **not** round-trip, by design:
+
+* ``PipelineStep.run`` callables and :data:`~repro.core.spec.SpecFactory`
+  step factories — code is not data; encoding such a step raises
+  :class:`~repro.exceptions.SpecError`.  Service clients express dataflow
+  with concrete specs; factories remain available to in-process callers.
+* non-JSON values inside ``strategy_options`` — rejected with
+  :class:`~repro.exceptions.SpecError` at encode *and* decode time.
+
+Decoded specs are re-validated by the caller (the service layer calls
+``spec.validate()`` on every submission), so the codec restores structure
+and leaves semantic checks to the spec itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import MISSING
+from dataclasses import fields as dataclass_fields
+from typing import Any, Mapping
+
+from repro.core.spec import (
+    CategorizeSpec,
+    ClusterSpec,
+    FilterSpec,
+    ImputeSpec,
+    JoinSpec,
+    PipelineSpec,
+    PipelineStep,
+    ResolveSpec,
+    SortSpec,
+    TaskSpec,
+    TopKSpec,
+)
+from repro.data.products import ImputationDataset
+from repro.data.record import Dataset, Record
+from repro.exceptions import SpecError
+
+#: Bump when the wire layout changes; newer payloads are refused on decode.
+SPEC_CODEC_VERSION = 1
+
+_SPEC_TYPES: dict[str, type[TaskSpec]] = {
+    cls.__name__: cls
+    for cls in (
+        SortSpec,
+        ResolveSpec,
+        ImputeSpec,
+        FilterSpec,
+        CategorizeSpec,
+        TopKSpec,
+        JoinSpec,
+        ClusterSpec,
+    )
+}
+
+
+def _json_safe(value: Any, *, context: str) -> Any:
+    """Pass ``value`` through ``json`` round-trip rules, or raise SpecError.
+
+    Used for the open-ended mappings (``strategy_options``, record
+    attributes): their values must be plain JSON data, not live objects.
+    """
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"{context} is not JSON-serialisable: {exc}") from exc
+    return value
+
+
+def _encode_record(record: Record) -> dict[str, Any]:
+    return {
+        "record_id": record.record_id,
+        "attributes": _json_safe(
+            dict(record.attributes), context=f"record {record.record_id!r} attributes"
+        ),
+    }
+
+
+def _decode_record(data: Mapping[str, Any]) -> Record:
+    return Record(
+        record_id=str(data["record_id"]), attributes=dict(data.get("attributes", {}))
+    )
+
+
+def _encode_dataset(dataset: Dataset) -> dict[str, Any]:
+    return {
+        "name": dataset.name,
+        "records": [_encode_record(record) for record in dataset.records],
+    }
+
+
+def _decode_dataset(data: Mapping[str, Any]) -> Dataset:
+    return Dataset(
+        (_decode_record(record) for record in data.get("records", ())),
+        name=str(data.get("name", "dataset")),
+    )
+
+
+def _encode_imputation(data: ImputationDataset) -> dict[str, Any]:
+    return {
+        "name": data.name,
+        "target_attribute": data.target_attribute,
+        "queries": _encode_dataset(data.queries),
+        "reference": _encode_dataset(data.reference),
+        "ground_truth": dict(data.ground_truth),
+    }
+
+
+def _decode_imputation(data: Mapping[str, Any]) -> ImputationDataset:
+    return ImputationDataset(
+        name=str(data.get("name", "imputation")),
+        target_attribute=str(data["target_attribute"]),
+        queries=_decode_dataset(data.get("queries", {})),
+        reference=_decode_dataset(data.get("reference", {})),
+        ground_truth={str(k): str(v) for k, v in dict(data.get("ground_truth", {})).items()},
+    )
+
+
+def _encode_pairs(pairs: Any) -> list[list[str]]:
+    return [[str(left), str(right)] for left, right in pairs]
+
+
+def _decode_pairs(data: Any) -> list[tuple[str, str]]:
+    return [(str(pair[0]), str(pair[1])) for pair in data]
+
+
+def spec_to_dict(spec: TaskSpec) -> dict[str, Any]:
+    """Encode a concrete task spec as a JSON-shaped dict.
+
+    Raises :class:`SpecError` for spec types without a codec or for specs
+    carrying non-JSON ``strategy_options`` values.
+    """
+    type_name = type(spec).__name__
+    if type_name not in _SPEC_TYPES:
+        raise SpecError(f"no JSON codec for spec type {type_name}")
+    spec_fields: dict[str, Any] = {
+        "budget_dollars": spec.budget_dollars,
+        "accuracy_target": spec.accuracy_target,
+        "strategy": spec.strategy,
+        "strategy_options": _json_safe(
+            dict(spec.strategy_options), context=f"{type_name}.strategy_options"
+        ),
+    }
+    if isinstance(spec, SortSpec):
+        spec_fields.update(
+            items=list(spec.items),
+            criterion=spec.criterion,
+            validation_order=list(spec.validation_order),
+        )
+    elif isinstance(spec, ResolveSpec):
+        spec_fields.update(
+            records=list(spec.records),
+            pairs=_encode_pairs(spec.pairs),
+            validation_labels=[
+                [[left, right], bool(label)]
+                for (left, right), label in spec.validation_labels.items()
+            ],
+            neighbors_k=spec.neighbors_k,
+        )
+    elif isinstance(spec, ImputeSpec):
+        spec_fields.update(
+            data=None if spec.data is None else _encode_imputation(spec.data),
+            n_examples=spec.n_examples,
+            validation_size=spec.validation_size,
+        )
+    elif isinstance(spec, FilterSpec):
+        spec_fields.update(
+            items=list(spec.items),
+            predicate=spec.predicate,
+            predicates=list(spec.predicates),
+            expected_selectivities=list(spec.expected_selectivities),
+            validation_labels={
+                str(item): bool(label) for item, label in spec.validation_labels.items()
+            },
+        )
+    elif isinstance(spec, CategorizeSpec):
+        spec_fields.update(
+            items=list(spec.items),
+            categories=list(spec.categories),
+            validation_labels={
+                str(item): str(label) for item, label in spec.validation_labels.items()
+            },
+        )
+    elif isinstance(spec, TopKSpec):
+        spec_fields.update(items=list(spec.items), criterion=spec.criterion, k=spec.k)
+    elif isinstance(spec, JoinSpec):
+        spec_fields.update(left=list(spec.left), right=list(spec.right))
+    elif isinstance(spec, ClusterSpec):
+        spec_fields.update(items=list(spec.items))
+    # Omit fields still at their dataclass default: the wire form stays
+    # compact, and — decisively — decoding restores the *default object*
+    # (e.g. the empty tuple) rather than a listified copy of it, so a
+    # round-tripped spec compares equal to the original.
+    defaults = _field_defaults(type(spec))
+    spec_fields = {
+        name: value
+        for name, value in spec_fields.items()
+        if name not in defaults or getattr(spec, name) != defaults[name]
+    }
+    return {"type": type_name, "version": SPEC_CODEC_VERSION, "fields": spec_fields}
+
+
+def _field_defaults(cls: type) -> dict[str, Any]:
+    defaults: dict[str, Any] = {}
+    for spec_field in dataclass_fields(cls):
+        if spec_field.default is not MISSING:
+            defaults[spec_field.name] = spec_field.default
+        elif spec_field.default_factory is not MISSING:
+            defaults[spec_field.name] = spec_field.default_factory()
+    return defaults
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> TaskSpec:
+    """Rebuild a task spec from its wire dict.
+
+    Raises :class:`SpecError` for unknown types, newer payload versions, or
+    fields that do not exist on the spec (a typo in a hand-written payload
+    must fail loudly, not be silently dropped).
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(f"a spec payload must be an object, got {type(data).__name__}")
+    type_name = data.get("type")
+    if type_name not in _SPEC_TYPES:
+        raise SpecError(f"unknown spec type {type_name!r}")
+    version = int(data.get("version", 0))
+    if version > SPEC_CODEC_VERSION:
+        raise SpecError(
+            f"spec payload version {version} is newer than this library's "
+            f"{SPEC_CODEC_VERSION}"
+        )
+    cls = _SPEC_TYPES[type_name]
+    spec_fields = dict(data.get("fields", {}))
+    known = {f.name for f in dataclass_fields(cls)}
+    unknown = set(spec_fields) - known
+    if unknown:
+        raise SpecError(
+            f"{type_name} payload carries unknown fields: {sorted(unknown)}"
+        )
+    if "strategy_options" in spec_fields:
+        options = spec_fields["strategy_options"]
+        if not isinstance(options, Mapping):
+            raise SpecError(f"{type_name}.strategy_options must be an object")
+        spec_fields["strategy_options"] = _json_safe(
+            dict(options), context=f"{type_name}.strategy_options"
+        )
+    if cls is ResolveSpec:
+        if "pairs" in spec_fields:
+            spec_fields["pairs"] = _decode_pairs(spec_fields["pairs"])
+        if "validation_labels" in spec_fields:
+            spec_fields["validation_labels"] = {
+                (str(pair[0]), str(pair[1])): bool(label)
+                for pair, label in spec_fields["validation_labels"]
+            }
+    elif cls is ImputeSpec and spec_fields.get("data") is not None:
+        spec_fields["data"] = _decode_imputation(spec_fields["data"])
+    elif cls is FilterSpec and "validation_labels" in spec_fields:
+        spec_fields["validation_labels"] = {
+            str(item): bool(label)
+            for item, label in dict(spec_fields["validation_labels"]).items()
+        }
+    try:
+        return cls(**spec_fields)
+    except TypeError as exc:
+        raise SpecError(f"malformed {type_name} payload: {exc}") from exc
+
+
+def step_to_dict(step: PipelineStep) -> dict[str, Any]:
+    """Encode one pipeline step; ``run=`` and factory steps refuse to encode."""
+    if step.run is not None:
+        raise SpecError(
+            f"pipeline step {step.name!r} carries a run= callable; callables are "
+            "code, not data, and cannot be serialised to JSON"
+        )
+    if not isinstance(step.task, TaskSpec):
+        raise SpecError(
+            f"pipeline step {step.name!r} carries a spec factory; only concrete "
+            "TaskSpec steps can be serialised to JSON"
+        )
+    return {
+        "name": step.name,
+        "task": spec_to_dict(step.task),
+        "depends_on": list(step.depends_on),
+        "description": step.description,
+    }
+
+
+def step_from_dict(data: Mapping[str, Any]) -> PipelineStep:
+    if not isinstance(data, Mapping):
+        raise SpecError(f"a step payload must be an object, got {type(data).__name__}")
+    if "task" not in data:
+        raise SpecError(f"pipeline step payload {data.get('name')!r} has no task")
+    return PipelineStep(
+        name=str(data.get("name", "")),
+        task=spec_from_dict(data["task"]),
+        depends_on=tuple(str(dep) for dep in data.get("depends_on", ())),
+        description=str(data.get("description", "")),
+    )
+
+
+def pipeline_to_dict(pipeline: PipelineSpec) -> dict[str, Any]:
+    """Encode a whole pipeline spec as a JSON-shaped dict."""
+    return {
+        "version": SPEC_CODEC_VERSION,
+        "name": pipeline.name,
+        "steps": [step_to_dict(step) for step in pipeline.steps],
+        "budget_dollars": pipeline.budget_dollars,
+        "description": pipeline.description,
+    }
+
+
+def pipeline_from_dict(data: Mapping[str, Any]) -> PipelineSpec:
+    """Rebuild a pipeline spec from its wire dict (structure only —
+    callers run :meth:`PipelineSpec.validate` for semantic checks)."""
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"a pipeline payload must be an object, got {type(data).__name__}"
+        )
+    version = int(data.get("version", 0))
+    if version > SPEC_CODEC_VERSION:
+        raise SpecError(
+            f"pipeline payload version {version} is newer than this library's "
+            f"{SPEC_CODEC_VERSION}"
+        )
+    budget = data.get("budget_dollars")
+    return PipelineSpec(
+        name=str(data.get("name", "pipeline")),
+        steps=[step_from_dict(step) for step in data.get("steps", ())],
+        budget_dollars=None if budget is None else float(budget),
+        description=str(data.get("description", "")),
+    )
+
+
+def pipeline_to_json(pipeline: PipelineSpec) -> str:
+    """The JSON wire form of a pipeline (what the service's job table stores)."""
+    return json.dumps(pipeline_to_dict(pipeline), sort_keys=True)
+
+
+def pipeline_from_json(payload: str) -> PipelineSpec:
+    """Parse a pipeline from its JSON wire form."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"malformed pipeline JSON: {exc}") from exc
+    return pipeline_from_dict(data)

@@ -43,6 +43,7 @@ element-wise identical to the linear chain (the equivalence suite in
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
@@ -59,6 +60,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: A spec-step executor: ``(step, inputs, lease) -> result``.  Supplied by
 #: the engine; plain sessions cannot run operator specs themselves.
 SpecRunner = Callable[["WorkflowStep", Mapping[str, Any], BudgetLease | None], Any]
+
+#: A step-completion observer: called with each step's :class:`StepReport`
+#: the moment the step settles (``completed`` or ``stopped``).  The service
+#: layer streams these to polling clients.
+StepObserver = Callable[["StepReport"], None]
 
 
 @dataclass
@@ -108,6 +114,31 @@ class StepReport:
     description: str = ""
     restored: bool = False
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-shaped view (what the service's job endpoints return)."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "cost": self.cost,
+            "calls": self.calls,
+            "allocation": self.allocation,
+            "description": self.description,
+            "restored": self.restored,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StepReport":
+        allocation = data.get("allocation")
+        return cls(
+            name=str(data.get("name", "")),
+            status=str(data.get("status", "skipped")),
+            cost=float(data.get("cost", 0.0)),
+            calls=int(data.get("calls", 0)),
+            allocation=None if allocation is None else float(allocation),
+            description=str(data.get("description", "")),
+            restored=bool(data.get("restored", False)),
+        )
+
 
 @dataclass
 class WorkflowReport:
@@ -148,6 +179,75 @@ class WorkflowReport:
     def restored_steps(self) -> list[str]:
         """Steps whose results came from a checkpoint store (zero new calls)."""
         return [name for name, step in self.step_reports.items() if step.restored]
+
+    def to_dict(self, *, include_results: bool = True) -> dict[str, Any]:
+        """A JSON-shaped view of the whole run.
+
+        Step results are encoded through the checkpoint codecs of
+        :mod:`repro.store.checkpoint` — the same wire form resumable
+        pipelines already rely on — so a service client polling a finished
+        job reads results identical to an in-process run's.  Results without
+        a codec (callable steps returning arbitrary objects) are listed
+        under ``unserialized_results`` instead of failing the whole report.
+        """
+        from repro.store.checkpoint import encode_result  # breaks import cycle
+
+        encoded: dict[str, Any] = {}
+        unserialized: list[str] = []
+        if include_results:
+            for name, value in self.results.items():
+                if isinstance(value, OperatorResult):
+                    try:
+                        encoded[name] = json.loads(encode_result(value))
+                        continue
+                    except Exception:
+                        pass
+                unserialized.append(name)
+        return {
+            "results": encoded,
+            "unserialized_results": unserialized,
+            "step_order": list(self.step_order),
+            "waves": [list(wave) for wave in self.waves],
+            "step_reports": {
+                name: report.to_dict() for name, report in self.step_reports.items()
+            },
+            "total_cost": self.total_cost,
+            "total_prompt_tokens": self.total_prompt_tokens,
+            "total_completion_tokens": self.total_completion_tokens,
+            "total_calls": self.total_calls,
+            "stopped_early": self.stopped_early,
+            "stop_reason": self.stop_reason,
+            "quote": None if self.quote is None else self.quote.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkflowReport":
+        """Rebuild a report (results decoded through the checkpoint codecs)."""
+        from repro.core.planner import PipelineQuote
+        from repro.store.checkpoint import decode_result  # breaks import cycle
+
+        results: dict[str, Any] = {}
+        for name, payload in dict(data.get("results", {})).items():
+            decoded = decode_result(json.dumps(payload))
+            if decoded is not None:
+                results[name] = decoded
+        quote_data = data.get("quote")
+        return cls(
+            results=results,
+            step_order=[str(name) for name in data.get("step_order", ())],
+            waves=[[str(name) for name in wave] for wave in data.get("waves", ())],
+            step_reports={
+                str(name): StepReport.from_dict(report)
+                for name, report in dict(data.get("step_reports", {})).items()
+            },
+            total_cost=float(data.get("total_cost", 0.0)),
+            total_prompt_tokens=int(data.get("total_prompt_tokens", 0)),
+            total_completion_tokens=int(data.get("total_completion_tokens", 0)),
+            total_calls=int(data.get("total_calls", 0)),
+            stopped_early=bool(data.get("stopped_early", False)),
+            stop_reason=str(data.get("stop_reason", "")),
+            quote=None if quote_data is None else PipelineQuote.from_dict(quote_data),
+        )
 
 
 class Workflow:
@@ -244,6 +344,7 @@ class Workflow:
         spec_runner: SpecRunner | None = None,
         quote: "PipelineQuote | None" = None,
         scheduler: str = "threads",
+        on_step: StepObserver | None = None,
     ) -> WorkflowReport:
         """Run the DAG against ``session``, wave by wave.
 
@@ -262,6 +363,9 @@ class Workflow:
                 runs the waves through the asyncio-native scheduler (see
                 :meth:`execute_async` — call that directly from inside an
                 already-running loop).
+            on_step: optional observer called with each step's
+                :class:`StepReport` as the step settles; observer errors are
+                swallowed (an observer must never sink the run).
         """
         if scheduler == "async":
             import asyncio
@@ -272,6 +376,7 @@ class Workflow:
                     max_concurrency=max_concurrency,
                     spec_runner=spec_runner,
                     quote=quote,
+                    on_step=on_step,
                 )
             )
         if scheduler != "threads":
@@ -286,7 +391,9 @@ class Workflow:
                 break
             runnable, thunks, leases = planned
             outcomes = executor.map(thunks)
-            progressed, failure = self._absorb_outcomes(state, runnable, outcomes, leases)
+            progressed, failure = self._absorb_outcomes(
+                state, runnable, outcomes, leases, on_step
+            )
             if failure is not None:
                 self._finalize(state.report, session, state.usage_before, state.cost_before)
                 raise failure
@@ -302,6 +409,7 @@ class Workflow:
         max_concurrency: int | None = None,
         spec_runner: SpecRunner | None = None,
         quote: "PipelineQuote | None" = None,
+        on_step: StepObserver | None = None,
     ) -> WorkflowReport:
         """The asyncio-native scheduler: identical semantics, awaited waves.
 
@@ -325,7 +433,9 @@ class Workflow:
                 break
             runnable, thunks, leases = planned
             outcomes = await executor.map(thunks)
-            progressed, failure = self._absorb_outcomes(state, runnable, outcomes, leases)
+            progressed, failure = self._absorb_outcomes(
+                state, runnable, outcomes, leases, on_step
+            )
             if failure is not None:
                 self._finalize(state.report, session, state.usage_before, state.cost_before)
                 raise failure
@@ -443,11 +553,13 @@ class Workflow:
         runnable: list[str],
         outcomes: list[Any],
         leases: dict[str, BudgetLease],
+        on_step: StepObserver | None = None,
     ) -> tuple[bool, BaseException | None]:
         """Fold one round's outcomes into the report; (progressed, failure)."""
         report, pending = state.report, state.pending
         progressed = False
         failure: BaseException | None = None
+        settled: list[StepReport] = []
         for name, outcome in zip(runnable, outcomes):
             step_report = report.step_reports[name]
             if outcome.ok:
@@ -459,6 +571,7 @@ class Workflow:
                     step_report.calls = outcome.value.usage.calls
                 pending.remove(name)
                 progressed = True
+                settled.append(step_report)
             elif outcome.skipped:
                 # Never dispatched this round (a sibling failed first, or
                 # the budget died before the step started); stays pending —
@@ -480,8 +593,16 @@ class Workflow:
                     report.stop_reason = str(outcome.error)
                 pending.remove(name)
                 progressed = True
+                settled.append(step_report)
             else:
                 failure = failure or outcome.error
+        if on_step is not None:
+            for step_report in settled:
+                try:
+                    on_step(step_report)
+                except Exception:
+                    # An observer must never sink the run it is watching.
+                    pass
         return progressed, failure
 
     @staticmethod

@@ -1,0 +1,118 @@
+"""Admission control: price the work before any of it is paid for.
+
+The declarative-crowdsourcing framing makes this possible: because a
+submitted pipeline is *data* (specs, not code), the
+:class:`~repro.core.planner.CostPlanner` can quote its whole cost a priori —
+and the service can therefore refuse work that cannot finish under the
+tenant's remaining budget **before a single LLM call is spent on it**.
+That is the admission controller's contract, and the test suite holds it to
+"zero calls on rejection".
+
+Two gates, in order:
+
+1. **Queue depth** — a tenant with ``max_queue_depth`` jobs already queued
+   or running gets ``429`` (retry later); queue pressure is checked first
+   because it is free to evaluate.
+2. **Budget** — the pipeline's quote (computed here if the caller has not
+   already) is compared against the tenant's remaining dollars, tightened
+   by the pipeline's own ``budget_dollars`` cap when that is smaller.  An
+   unpayable quote gets ``402`` with the full quote attached, so the caller
+   sees exactly what the work would have cost.
+
+Quotes are estimates, not guarantees: an admitted pipeline can still stop
+early if execution proves costlier than planned — the per-step budget
+leases of :mod:`repro.core.workflow` handle that containment at run time.
+Admission only promises the *cheap, certain* rejections happen up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.planner import PipelineQuote
+from repro.core.spec import PipelineSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.tenants import Tenant
+
+
+@dataclass
+class AdmissionDecision:
+    """The outcome of reviewing one submission.
+
+    Attributes:
+        admitted: whether the job may be enqueued.
+        status_code: HTTP status the service should answer with (``202``
+            accepted, ``402`` over budget, ``429`` queue full).
+        reason: human-readable explanation (error body on rejection).
+        quote: the priced quote's dict — always attached when a quote was
+            computed, so even a rejected caller learns the price.
+    """
+
+    admitted: bool
+    status_code: int = 202
+    reason: str = ""
+    quote: dict[str, Any] | None = field(default=None)
+
+
+class AdmissionController:
+    """Reviews pipeline submissions against tenant envelopes (see module doc)."""
+
+    def review(
+        self,
+        tenant: "Tenant",
+        pipeline: PipelineSpec,
+        *,
+        active_jobs: int,
+        quote: PipelineQuote | None = None,
+    ) -> tuple[AdmissionDecision, PipelineQuote]:
+        """Review one submission; returns the decision and the quote.
+
+        The quote is returned even on rejection (and on queue-full, where
+        it is still computed — the caller paid an HTTP round trip and
+        deserves the price).  Quoting itself makes no LLM calls.
+        """
+        if quote is None:
+            quote = tenant.engine.quote_pipeline(pipeline)
+        quote_dict = quote.to_dict()
+        config = tenant.config
+        if active_jobs >= config.max_queue_depth:
+            return (
+                AdmissionDecision(
+                    admitted=False,
+                    status_code=429,
+                    reason=(
+                        f"tenant {tenant.tenant_id!r} already has {active_jobs} "
+                        f"active job(s); queue depth is {config.max_queue_depth}"
+                    ),
+                    quote=quote_dict,
+                ),
+                quote,
+            )
+        budget = tenant.session.budget
+        available = None if budget.unlimited else budget.remaining
+        if pipeline.budget_dollars is not None:
+            available = (
+                pipeline.budget_dollars
+                if available is None
+                else min(available, pipeline.budget_dollars)
+            )
+        if available is not None and quote.total_dollars > available:
+            return (
+                AdmissionDecision(
+                    admitted=False,
+                    status_code=402,
+                    reason=(
+                        f"pipeline {pipeline.name!r} quotes "
+                        f"${quote.total_dollars:.6f} but only ${available:.6f} "
+                        f"is available to tenant {tenant.tenant_id!r}"
+                    ),
+                    quote=quote_dict,
+                ),
+                quote,
+            )
+        return AdmissionDecision(admitted=True, quote=quote_dict), quote
+
+
+__all__ = ["AdmissionController", "AdmissionDecision"]

@@ -1,0 +1,37 @@
+"""Run the service under uvicorn — the only optional-dependency corner.
+
+The library's hard rule is "stdlib only"; serving real sockets is the one
+place that genuinely wants a production ASGI server.  ``pip install
+repro[serve]`` pulls uvicorn in; without it, :func:`serve` raises a
+:class:`~repro.exceptions.ConfigurationError` naming the extra, and nothing
+else in :mod:`repro.service` (the app, the job manager, the in-process test
+client) ever imports it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.app import ServiceApp
+
+
+def serve(app: "ServiceApp", *, host: str = "127.0.0.1", port: int = 8351) -> None:
+    """Serve ``app`` over real sockets (blocks until interrupted).
+
+    Requires the ``serve`` extra (``pip install repro[serve]``).
+    """
+    try:
+        import uvicorn
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise ConfigurationError(
+            "serving over sockets needs uvicorn; install the 'serve' extra "
+            "(pip install repro[serve]) or drive the app in-process with "
+            "repro.service.testing.ServiceClient"
+        ) from exc
+    uvicorn.run(app, host=host, port=port, lifespan="on")  # pragma: no cover
+
+
+__all__ = ["serve"]

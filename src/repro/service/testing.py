@@ -1,0 +1,156 @@
+"""An in-process ASGI test client (no sockets, no server, no extras).
+
+:class:`ServiceClient` speaks the ASGI protocol directly at a
+:class:`~repro.service.app.ServiceApp` (or any ASGI callable): it builds the
+``scope``, feeds the request body through ``receive``, and collects what the
+app ``send``s.  That keeps the tier-1 service tests fully in-process — the
+whole submit/poll/stream lifecycle runs inside one ``asyncio.run`` — while
+exercising exactly the protocol surface a real ASGI server would.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ClientResponse:
+    """One collected HTTP response."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self) -> Any:
+        return json.loads(self.text)
+
+    def sse_events(self) -> list[Any]:
+        """Parse a ``text/event-stream`` body into its ``data:`` payloads."""
+        events: list[Any] = []
+        for line in self.text.splitlines():
+            if line.startswith("data: "):
+                events.append(json.loads(line[len("data: ") :]))
+        return events
+
+
+class ServiceClient:
+    """Drives an ASGI app in-process (see module docstring).
+
+    Args:
+        app: the ASGI callable under test.
+        api_key: default ``x-api-key`` attached to every request; override
+            per call (or pass ``api_key=None``) to impersonate nobody.
+    """
+
+    def __init__(self, app: Any, *, api_key: str | None = None) -> None:
+        self.app = app
+        self.api_key = api_key
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body: Any = None,
+        api_key: str | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> ClientResponse:
+        """Run one full request/response cycle through the app."""
+        body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+        header_list: list[tuple[bytes, bytes]] = []
+        key = api_key if api_key is not None else self.api_key
+        if key:
+            header_list.append((b"x-api-key", key.encode("latin-1")))
+        if json_body is not None:
+            header_list.append((b"content-type", b"application/json"))
+        for name, value in (headers or {}).items():
+            header_list.append((name.encode("latin-1"), value.encode("latin-1")))
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": b"",
+            "headers": header_list,
+            "client": ("testclient", 0),
+            "server": ("testserver", 80),
+        }
+        request_messages = [
+            {"type": "http.request", "body": body, "more_body": False}
+        ]
+
+        async def receive() -> dict[str, Any]:
+            if request_messages:
+                return request_messages.pop(0)
+            return {"type": "http.disconnect"}
+
+        response = ClientResponse(status=0)
+        chunks: list[bytes] = []
+
+        async def send(message: dict[str, Any]) -> None:
+            if message["type"] == "http.response.start":
+                response.status = message["status"]
+                response.headers = {
+                    name.decode("latin-1"): value.decode("latin-1")
+                    for name, value in message.get("headers", [])
+                }
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+
+        await self.app(scope, receive, send)
+        response.body = b"".join(chunks)
+        return response
+
+    async def get(self, path: str, **kwargs: Any) -> ClientResponse:
+        return await self.request("GET", path, **kwargs)
+
+    async def post(self, path: str, **kwargs: Any) -> ClientResponse:
+        return await self.request("POST", path, **kwargs)
+
+    # -- lifespan -----------------------------------------------------------------
+
+    async def lifespan_startup(self) -> None:
+        """Drive the app's lifespan startup (returns once it completes)."""
+        await self._lifespan_event("lifespan.startup")
+
+    async def lifespan_shutdown(self) -> None:
+        """Drive the app's lifespan shutdown (returns once it completes)."""
+        await self._lifespan_event("lifespan.shutdown")
+
+    async def _lifespan_event(self, event: str) -> None:
+        messages = [{"type": event}]
+        completions: list[dict[str, Any]] = []
+
+        async def receive() -> dict[str, Any]:
+            if messages:
+                return messages.pop(0)
+            # One event per drive; the app's lifespan loop would otherwise
+            # wait forever for the next message.
+            raise _LifespanDone()
+
+        async def send(message: dict[str, Any]) -> None:
+            completions.append(message)
+
+        try:
+            await self.app({"type": "lifespan", "asgi": {"version": "3.0"}}, receive, send)
+        except _LifespanDone:
+            pass
+        failed = [m for m in completions if m["type"].endswith(".failed")]
+        if failed:
+            raise RuntimeError(f"lifespan {event} failed: {failed[0].get('message')}")
+
+
+class _LifespanDone(Exception):
+    """Internal: unwinds the app's lifespan loop after a single event."""
+
+
+__all__ = ["ClientResponse", "ServiceClient"]

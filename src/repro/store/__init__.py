@@ -21,6 +21,8 @@ See ``docs/api.md`` ("The store subsystem") for the user-facing tour and
 from repro.store.checkpoint import CHECKPOINT_VERSION, decode_result, encode_result
 from repro.store.db import APPLICATION_ID, SCHEMA_VERSION, StoreDB
 from repro.store.fingerprint import FingerprintError, fingerprint_spec
+from repro.store.jobs import JOB_STATUSES, TERMINAL_STATUSES, JobRecord
+from repro.store.namespace import StoreNamespace
 from repro.store.profile import DEFAULT_DECAY, PROFILE_VERSION, WorkloadProfile
 from repro.store.response_cache import PersistentResponseCache
 from repro.store.store import Store
@@ -30,11 +32,15 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "DEFAULT_DECAY",
     "FingerprintError",
+    "JOB_STATUSES",
+    "JobRecord",
     "PROFILE_VERSION",
     "PersistentResponseCache",
     "SCHEMA_VERSION",
     "Store",
     "StoreDB",
+    "StoreNamespace",
+    "TERMINAL_STATUSES",
     "WorkloadProfile",
     "decode_result",
     "encode_result",

@@ -44,7 +44,7 @@ APPLICATION_ID = 0x5250_5253  # spells "RPRS"
 
 #: Bump whenever the table layout changes.  Older stores are rebuilt (their
 #: contents are all derived data); newer stores are refused.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -96,10 +96,23 @@ CREATE TABLE IF NOT EXISTS traces (
     confidence REAL
 );
 CREATE INDEX IF NOT EXISTS traces_origin ON traces (origin, call_id);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id TEXT PRIMARY KEY,
+    tenant TEXT NOT NULL,
+    status TEXT NOT NULL,
+    pipeline TEXT NOT NULL,
+    quote TEXT,
+    report TEXT,
+    error TEXT,
+    resumable INTEGER NOT NULL DEFAULT 0,
+    submitted_seq INTEGER NOT NULL,
+    updated_seq INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_tenant ON jobs (tenant, submitted_seq);
 """
 
 #: Tables dropped when an older schema is rebuilt.
-_TABLES = ("meta", "cache", "profiles", "checkpoints", "traces")
+_TABLES = ("meta", "cache", "profiles", "checkpoints", "traces", "jobs")
 
 
 class StoreDB:

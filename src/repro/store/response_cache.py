@@ -32,8 +32,13 @@ from repro.store.db import StoreDB
 from repro.tokenizer.cost import Usage
 
 
-def _key(model: str, prompt: str) -> str:
+def _key(model: str, prompt: str, namespace: str = "") -> str:
     digest = hashlib.sha256()
+    if namespace:
+        # A namespaced key can never collide with a default-namespace key
+        # for any (model, prompt): the prefix is length-delimited.
+        digest.update(f"ns:{len(namespace)}:{namespace}".encode("utf-8"))
+        digest.update(b"\x00")
     digest.update(model.encode("utf-8", "surrogatepass"))
     digest.update(b"\x00")
     digest.update(prompt.encode("utf-8", "surrogatepass"))
@@ -86,6 +91,10 @@ class PersistentResponseCache:
         max_entries: entry-count cap; least-recently-used rows are evicted.
         max_bytes: optional cap on total stored payload bytes (prompt +
             response); ``None`` leaves size unbounded.
+        namespace: optional isolation prefix mixed into every key digest.
+            Views with different namespaces share the file (and its LRU
+            budget) but can never see each other's entries — the unit of
+            tenant isolation in the multi-tenant service.
     """
 
     def __init__(
@@ -94,6 +103,7 @@ class PersistentResponseCache:
         *,
         max_entries: int = 100_000,
         max_bytes: int | None = None,
+        namespace: str = "",
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
@@ -102,6 +112,7 @@ class PersistentResponseCache:
         self._db = db
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.namespace = namespace
         self.stats = CacheStats()
         # Eviction needs COUNT/SUM scans; amortize them on large
         # entry-capped caches (the overshoot between checks is bounded by
@@ -122,7 +133,7 @@ class PersistentResponseCache:
     _NEXT_SEQ = "(SELECT COALESCE(MAX(access_seq), 0) + 1 FROM cache)"
 
     def get(self, model: str, prompt: str) -> LLMResponse | None:
-        key = _key(model, prompt)
+        key = _key(model, prompt, self.namespace)
         with self._db.lock:
             rows = self._db.execute("SELECT payload FROM cache WHERE key = ?", (key,))
             if not rows:
@@ -144,7 +155,7 @@ class PersistentResponseCache:
                 "INSERT OR REPLACE INTO cache "
                 "(key, model, prompt, payload, size, access_seq) "
                 f"VALUES (?, ?, ?, ?, ?, {self._NEXT_SEQ})",
-                (_key(model, prompt), model, prompt, payload, size),
+                (_key(model, prompt, self.namespace), model, prompt, payload, size),
             )
             self._puts_since_evict += 1
             if self._puts_since_evict >= self._evict_interval:

@@ -30,12 +30,20 @@ from repro.core.spec import TaskSpec
 from repro.operators.base import OperatorResult
 from repro.store.checkpoint import decode_result, encode_result
 from repro.store.db import StoreDB
+from repro.store.jobs import (
+    JobRecord,
+    job_from_row,
+    job_quote_payload,
+    job_report_payload,
+    validate_status,
+)
 from repro.store.profile import DEFAULT_DECAY, WorkloadProfile
 from repro.store.response_cache import PersistentResponseCache
 from repro.trace import TraceRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.physical import RuntimeStats
+    from repro.store.namespace import StoreNamespace
 
 
 class Store:
@@ -75,18 +83,29 @@ class Store:
 
     # -- response cache -----------------------------------------------------------
 
-    def response_cache(self) -> PersistentResponseCache:
+    def response_cache(self, *, namespace: str = "") -> PersistentResponseCache:
         """A durable response cache view (drop-in for ``ResponseCache``).
 
         Every call returns a *new* instance: the entries are shared (they
         live in the database), but hit/miss counters are per instance, so
         each :class:`~repro.core.session.PromptSession` built on this store
         reports its own hit rate — matching the semantics of handing every
-        session a fresh in-memory cache.
+        session a fresh in-memory cache.  A non-empty ``namespace`` is mixed
+        into every key digest, so the view shares the file but can never
+        read or collide with another namespace's entries (tenant isolation).
         """
         return PersistentResponseCache(
-            self.db, max_entries=self.max_cache_entries, max_bytes=self.max_cache_bytes
+            self.db,
+            max_entries=self.max_cache_entries,
+            max_bytes=self.max_cache_bytes,
+            namespace=namespace,
         )
+
+    def namespace(self, prefix: str) -> "StoreNamespace":
+        """A tenant-isolated view of this store (see :class:`StoreNamespace`)."""
+        from repro.store.namespace import StoreNamespace  # breaks import cycle
+
+        return StoreNamespace(self, prefix)
 
     # -- workload profiles --------------------------------------------------------
 
@@ -317,6 +336,76 @@ class Store:
                 (over,),
             )
 
+    # -- jobs ---------------------------------------------------------------------
+
+    _JOB_COLUMNS = (
+        "job_id, tenant, status, pipeline, quote, report, error, resumable, "
+        "submitted_seq, updated_seq"
+    )
+
+    def save_job(self, job: JobRecord) -> None:
+        """Upsert one job row atomically (the service persists every
+        transition: accepted, started, each streamed step, and the outcome).
+
+        ``submitted_seq`` is assigned on first save and preserved on
+        updates; ``updated_seq`` advances every save, so "most recently
+        touched" is queryable without wall clocks.
+        """
+        validate_status(job.status)
+        with self.db.lock:
+            if job.submitted_seq == 0:
+                rows = self.db.execute(
+                    "SELECT submitted_seq FROM jobs WHERE job_id = ?", (job.job_id,)
+                )
+                job.submitted_seq = (
+                    int(rows[0][0]) if rows else self.db.next_seq()
+                )
+            job.updated_seq = self.db.next_seq()
+            self.db.execute(
+                f"INSERT OR REPLACE INTO jobs ({self._JOB_COLUMNS}) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job.job_id,
+                    job.tenant,
+                    job.status,
+                    job.pipeline_json,
+                    job_quote_payload(job),
+                    job_report_payload(job),
+                    job.error,
+                    int(job.resumable),
+                    job.submitted_seq,
+                    job.updated_seq,
+                ),
+            )
+
+    def load_job(self, job_id: str) -> JobRecord | None:
+        """The stored job row, or ``None`` when no such job exists."""
+        rows = self.db.execute(
+            f"SELECT {self._JOB_COLUMNS} FROM jobs WHERE job_id = ?", (job_id,)
+        )
+        return job_from_row(rows[0]) if rows else None
+
+    def list_jobs(
+        self, *, tenant: str | None = None, status: str | None = None
+    ) -> list[JobRecord]:
+        """Stored jobs in submission order, optionally filtered."""
+        sql = f"SELECT {self._JOB_COLUMNS} FROM jobs"
+        clauses: list[str] = []
+        parameters: list[Any] = []
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            parameters.append(tenant)
+        if status is not None:
+            clauses.append("status = ?")
+            parameters.append(validate_status(status))
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY submitted_seq ASC"
+        return [job_from_row(row) for row in self.db.execute(sql, parameters)]
+
+    def job_count(self) -> int:
+        return int(self.db.execute("SELECT COUNT(*) FROM jobs")[0][0])
+
     # -- lifecycle ----------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -328,6 +417,7 @@ class Store:
             "profiles": sorted(profiles),
             "checkpoints": self.checkpoint_count(),
             "traces": self.trace_count(),
+            "jobs": self.job_count(),
         }
 
     def close(self) -> None:

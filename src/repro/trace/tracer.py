@@ -235,6 +235,21 @@ class Tracer:
             self._records.clear()
             self._dirty.clear()
 
+    def summarize_records(self) -> dict[str, Any]:
+        """A lock-consistent aggregate of the buffered records.
+
+        Computed in one pass while holding the tracer's lock — no record
+        copies, no torn reads — so a concurrent request handler (the
+        service's usage endpoint) can call this while worker threads keep
+        recording.  The shape matches the module-level
+        :func:`summarize_records`, plus the ring's ``dropped`` count so an
+        aggregate over an overflowing buffer is recognisable as partial.
+        """
+        with self._lock:
+            summary = _aggregate(self._records.values())
+            summary["dropped"] = self._dropped
+        return summary
+
     # -- persistence --------------------------------------------------------------
 
     def flush(self) -> int:
@@ -259,16 +274,31 @@ class Tracer:
         return len(pending)
 
 
-def summarize_records(records: Sequence[TraceRecord]) -> dict[str, Any]:
-    """Aggregate view of a batch of records (used by docs/examples/tests)."""
-    total = len(records)
-    hits = sum(1 for record in records if record.cache_hit)
-    errors = sum(1 for record in records if record.error is not None)
+def _aggregate(records: Any) -> dict[str, Any]:
+    """Single-pass aggregation over an iterable of records."""
+    total = 0
+    hits = 0
+    errors = 0
+    cost = 0.0
+    duration_ms = 0.0
+    for record in records:
+        total += 1
+        if record.cache_hit:
+            hits += 1
+        if record.error is not None:
+            errors += 1
+        cost += record.cost
+        duration_ms += record.duration_ms
     return {
         "calls": total,
         "cache_hits": hits,
         "cache_hit_rate": hits / total if total else 0.0,
         "errors": errors,
-        "cost": sum(record.cost for record in records),
-        "duration_ms": sum(record.duration_ms for record in records),
+        "cost": cost,
+        "duration_ms": duration_ms,
     }
+
+
+def summarize_records(records: Sequence[TraceRecord]) -> dict[str, Any]:
+    """Aggregate view of a batch of records (used by docs/examples/tests)."""
+    return _aggregate(records)

@@ -1,0 +1,78 @@
+"""Shared helpers for the service-layer suite.
+
+Everything is deterministic (seeded simulator, temperature 0) and fully
+in-process: the ASGI app is driven by
+:class:`repro.service.testing.ServiceClient`, and async scenarios run under
+plain ``asyncio.run`` (no pytest-asyncio dependency).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.spec import FilterSpec, PipelineSpec, PipelineStep, SortSpec
+from repro.llm.oracle import Oracle
+from repro.llm.simulated import SimulatedLLM
+
+MODEL = "sim-gpt-3.5-turbo"
+WORDS = ["apple", "banana", "cherry", "damson", "elder", "fig"]
+PREDICATE = "starts early in the alphabet"
+CRITERION = "alphabetical order"
+
+
+class CountingClient:
+    """Counts every completion issued to the wrapped client (thread-safe).
+
+    The admission tests' core claim — "a rejected submission costs zero LLM
+    calls" — is asserted against this counter, *below* every cache.
+    """
+
+    def __init__(self, inner: SimulatedLLM) -> None:
+        self._inner = inner
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def complete(self, prompt, *, model=None, temperature=0.0, max_tokens=None):
+        with self._lock:
+            self.calls += 1
+        return self._inner.complete(
+            prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+    def complete_batch(self, prompts, *, model=None, temperature=0.0, max_tokens=None):
+        with self._lock:
+            self.calls += len(prompts)
+        return self._inner.complete_batch(
+            prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+
+def corpus_oracle() -> Oracle:
+    oracle = Oracle()
+    oracle.register_key(CRITERION, key=lambda item: item)
+    oracle.register_predicate(PREDICATE, lambda item: item[0] in "abc")
+    return oracle
+
+
+def make_client(seed: int = 11) -> CountingClient:
+    return CountingClient(SimulatedLLM(corpus_oracle(), seed=seed))
+
+
+def demo_pipeline(*, budget_dollars: float | None = None) -> PipelineSpec:
+    """A two-wave, fully concrete pipeline (JSON-serialisable end to end)."""
+    return PipelineSpec(
+        name="demo",
+        steps=[
+            PipelineStep(
+                name="filter",
+                task=FilterSpec(items=WORDS, predicate=PREDICATE, strategy="per_item"),
+            ),
+            PipelineStep(
+                name="sort",
+                task=SortSpec(items=WORDS, criterion=CRITERION, strategy="pairwise"),
+                depends_on=("filter",),
+            ),
+        ],
+        budget_dollars=budget_dollars,
+        description="filter then sort the word corpus",
+    )

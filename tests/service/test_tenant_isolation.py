@@ -1,0 +1,162 @@
+"""Two tenants hammering one app concurrently: nothing bleeds across.
+
+Each tenant owns a full execution universe — budget, response cache
+namespace, tracer, governor — over one shared process, one shared LLM
+client, and one shared SQLite file.  These tests run both tenants' jobs
+at the same time and assert the isolation invariants afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import ServiceApp, ServiceClient, TenantConfig, TenantRegistry
+from repro.store import Store
+
+from _service_helpers import MODEL, demo_pipeline, make_client
+
+ACME_KEY = "key-acme"
+BETA_KEY = "key-beta"
+
+
+def build_app(tmp_path, **overrides):
+    client = make_client()
+    store = Store(tmp_path / "svc.db")
+    registry = TenantRegistry(
+        client,
+        [
+            TenantConfig(
+                tenant_id="acme",
+                api_key=ACME_KEY,
+                budget_dollars=10.0,
+                default_model=MODEL,
+                **overrides,
+            ),
+            TenantConfig(
+                tenant_id="beta",
+                api_key=BETA_KEY,
+                budget_dollars=10.0,
+                default_model=MODEL,
+                **overrides,
+            ),
+        ],
+        store=store,
+    )
+    return ServiceApp(registry), client, store
+
+
+def pipeline_wire():
+    from repro.core.spec_codec import pipeline_to_dict
+
+    return pipeline_to_dict(demo_pipeline())
+
+
+async def run_jobs(client, count):
+    """Run ``count`` identical pipelines back to back, each to settlement.
+
+    Sequential within the tenant (so its second job deterministically
+    restores from its own checkpoints); tenants run these loops against
+    each other concurrently.
+    """
+    records = []
+    for _ in range(count):
+        submitted = await client.post("/v1/pipelines", json_body=pipeline_wire())
+        assert submitted.status == 202
+        job_id = submitted.json()["job_id"]
+        deadline = asyncio.get_running_loop().time() + 30
+        while True:
+            response = await client.get(f"/v1/jobs/{job_id}")
+            record = response.json()
+            if record["status"] in ("succeeded", "failed", "stopped"):
+                records.append(record)
+                break
+            assert asyncio.get_running_loop().time() < deadline
+            await asyncio.sleep(0.01)
+    return records
+
+
+class TestTenantIsolation:
+    def test_concurrent_tenants_share_nothing_observable(self, tmp_path):
+        app, _, store = build_app(tmp_path)
+        acme = ServiceClient(app, api_key=ACME_KEY)
+        beta = ServiceClient(app, api_key=BETA_KEY)
+
+        async def scenario():
+            acme_records, beta_records = await asyncio.gather(
+                run_jobs(acme, 2), run_jobs(beta, 2)
+            )
+            acme_usage = (await acme.get("/v1/tenants/acme/usage")).json()
+            beta_usage = (await beta.get("/v1/tenants/beta/usage")).json()
+            await app.shutdown()
+            return acme_records, beta_records, acme_usage, beta_usage
+
+        acme_records, beta_records, acme_usage, beta_usage = asyncio.run(scenario())
+
+        for record in acme_records + beta_records:
+            assert record["status"] == "succeeded"
+
+        # Both tenants ran the identical pipeline: were caches or checkpoints
+        # shared, the tenant arriving second would ride the first one's
+        # entries and trace almost nothing.  Isolation means symmetric call
+        # counts (the exact dollar spend wobbles with the shared simulator's
+        # sampled response lengths, so the count is the deterministic signal).
+        assert acme_usage["budget"]["spent"] > 0
+        assert beta_usage["budget"]["spent"] > 0
+        assert acme_usage["traces"]["calls"] == beta_usage["traces"]["calls"] > 0
+
+        # Each tenant's *second* job restored from its own namespaced
+        # checkpoints — reuse happens within a tenant, never across.
+        for records in (acme_records, beta_records):
+            assert all(
+                step["restored"] for step in records[1]["steps"].values()
+            )
+            assert not any(
+                step["restored"] for step in records[0]["steps"].values()
+            )
+        # The shared jobs table still partitions cleanly by tenant.
+        acme_rows = store.list_jobs(tenant="acme")
+        beta_rows = store.list_jobs(tenant="beta")
+        assert {r.job_id for r in acme_rows} == {r["job_id"] for r in acme_records}
+        assert {r.job_id for r in beta_rows} == {r["job_id"] for r in beta_records}
+        store.close()
+
+    def test_one_tenants_exhaustion_does_not_throttle_the_other(self, tmp_path):
+        app, _, store = build_app(tmp_path)
+        acme = ServiceClient(app, api_key=ACME_KEY)
+        beta = ServiceClient(app, api_key=BETA_KEY)
+
+        async def scenario():
+            # Burn acme's budget to (almost) nothing.
+            app.registry.get("acme").session.budget.charge(9.9999999)
+            acme_response = await acme.post(
+                "/v1/pipelines", json_body=pipeline_wire()
+            )
+            beta_records = await run_jobs(beta, 1)
+            await app.shutdown()
+            return acme_response, beta_records
+
+        acme_response, beta_records = asyncio.run(scenario())
+        store.close()
+        assert acme_response.status == 402
+        assert beta_records[0]["status"] == "succeeded"
+
+    def test_per_tenant_queue_depth_is_independent(self, tmp_path):
+        app, _, store = build_app(tmp_path, max_queue_depth=1)
+        acme = ServiceClient(app, api_key=ACME_KEY)
+        beta = ServiceClient(app, api_key=BETA_KEY)
+
+        async def scenario():
+            first = await acme.post("/v1/pipelines", json_body=pipeline_wire())
+            # acme's queue is now full; beta's is not.
+            acme_second = await acme.post("/v1/pipelines", json_body=pipeline_wire())
+            beta_first = await beta.post("/v1/pipelines", json_body=pipeline_wire())
+            await app.shutdown()
+            return first, acme_second, beta_first
+
+        first, acme_second, beta_first = asyncio.run(scenario())
+        store.close()
+        assert first.status == 202
+        assert acme_second.status == 429
+        assert beta_first.status == 202
