@@ -1,0 +1,115 @@
+"""Blocking 50,000 records through a persisted ANN index.
+
+Run with:  python examples/indexed_blocking.py
+
+A synthetic product catalog holds 12,500 products, each listed four times
+with near-identical text (trailing punctuation variants — the classic
+dirty-feed shape).  Comparing every pair would mean ~1.25 billion distance
+computations before a single LLM call; the legacy embedding scan ranks all
+of them.  This example blocks the catalog through the LSH vector index
+instead:
+
+* the index is built once and **persisted in the store** under a name
+  derived from the corpus content, so the second blocking run loads it
+  instead of rebuilding — and, because embeddings live in the store's
+  durable cache, re-runs never re-embed a single text;
+* ``.explain()`` on a resolve over the same feed shows *why* the
+  optimizer prefers blocked-pairwise at this scale: the quote prices the
+  index build (embed calls, zero LLM dollars) and k·n candidate
+  judgments against n²/2 pairwise judgments.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Dataset, Store
+from repro.index import LSHIndex, corpus_index_name, resolve_embedder
+from repro.proxies.blocking import EmbeddingBlocker
+
+N_ENTITIES = 12_500
+VARIANTS = 4  # 50,000 records
+K = 3
+
+BRANDS = ["acme", "globex", "initech", "umbrella", "stark", "wayne", "tyrell", "soylent"]
+LINES = ["widget", "gadget", "fastener", "actuator", "manifold", "bracket", "coupling", "bearing"]
+MATERIALS = [
+    "stainless steel", "carbon fiber", "anodized aluminum", "titanium alloy",
+    "reinforced nylon", "tempered glass", "copper plated", "powder coated",
+]
+
+
+def catalog(n_entities: int, variants: int) -> list[str]:
+    """Near-duplicate product listings, ``variants`` per underlying product."""
+    rng = np.random.default_rng(7)
+    texts: list[str] = []
+    for i in range(n_entities):
+        brand = BRANDS[int(rng.integers(len(BRANDS)))]
+        line = LINES[int(rng.integers(len(LINES)))]
+        material = MATERIALS[int(rng.integers(len(MATERIALS)))]
+        base = (
+            f"{brand} {line} series {i % 13}, {material}, sku-{i:06d} "
+            f"rev {i % 97}, warehouse {i % 7}, qty {int(rng.integers(1, 500))}, "
+            f"listed by vendor {i % 53} under catalog page {i % 211}"
+        )
+        texts.extend([base, base + ".", base + " ", base + ","][:variants])
+    return texts
+
+
+def block_once(texts: list[str], store: Store) -> None:
+    """One blocking pass: build or load the index, derive candidate pairs."""
+    embedder = resolve_embedder(store=store)
+    name = corpus_index_name(texts, embedder, prefix="block")
+
+    start = time.perf_counter()
+    index = store.load_vector_index(name)
+    if index is not None:
+        print(f"  loaded persisted index {name!r} in {time.perf_counter() - start:.2f}s")
+    else:
+        index = LSHIndex(embedder.dimensions, n_tables=6, n_bits=13, seed=0)
+        index.add(embedder.embed_batch(texts))
+        store.save_vector_index(name, index)
+        print(
+            f"  embedded + built + persisted index {name!r} "
+            f"in {time.perf_counter() - start:.2f}s"
+        )
+
+    start = time.perf_counter()
+    result = EmbeddingBlocker(k=K, embedder=embedder, index=index).block(texts)
+    print(
+        f"  knn_graph(k={K}) -> {result.n_candidates:,} candidate pairs "
+        f"in {time.perf_counter() - start:.2f}s "
+        f"(vs {len(texts) * (len(texts) - 1) // 2:,} all-pairs)"
+    )
+
+
+def main() -> None:
+    texts = catalog(N_ENTITIES, VARIANTS)
+    print(f"catalog: {len(texts):,} records ({N_ENTITIES:,} products x {VARIANTS} variants)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with Store(Path(tmp) / "catalog.db") as store:
+            print("\nfirst blocking run (cold store):")
+            block_once(texts, store)
+
+            print("\nsecond blocking run (same store — nothing recomputed):")
+            cache = store.embedding_cache()
+            block_once(texts, store)
+            print(
+                f"  embedding cache after re-run: {cache.stats.misses} misses "
+                f"(zero re-embeds), {store.embedding_count():,} vectors stored"
+            )
+
+            # Why the optimizer blocks: the plan explains itself.  (A slice
+            # keeps the demo quote quick; the shape is identical at 50k.)
+            print("\n.explain() for a resolve over this feed:")
+            feed = Dataset(texts[:600], name="catalog").resolve()
+            print(feed.explain())
+
+
+if __name__ == "__main__":
+    main()

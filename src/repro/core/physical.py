@@ -106,6 +106,7 @@ class RuntimeStats:
         self._pair_match = _Ratio()
         self._join = _Ratio()
         self._blocked_pairs = _Ratio()
+        self._probe_candidates = _Ratio()
         self._calls: dict[str, _Ratio] = {}
         self._call_counts: dict[str, float] = {}
         self._runs: dict[str, float] = {}
@@ -159,6 +160,17 @@ class RuntimeStats:
         with self._lock:
             self._blocked_pairs.numerator += candidates
             self._blocked_pairs.denominator += upper_bound
+
+    def record_probe_candidates(self, *, candidates: int, probed: int) -> None:
+        """Record vector-index probes: ``candidates`` rows were distance-ranked
+        across ``probed`` probes.  The rate is a mean candidate count per
+        probe (it can exceed 1), which is what prices an LSH probe against
+        the exact index's full-corpus rank."""
+        if probed <= 0:
+            return
+        with self._lock:
+            self._probe_candidates.numerator += candidates
+            self._probe_candidates.denominator += probed
 
     def record_calls(self, label: str, *, estimated: int, actual: int) -> None:
         """Record a strategy run: the planner quoted ``estimated`` calls, it took ``actual``."""
@@ -221,6 +233,11 @@ class RuntimeStats:
         """Observed candidate-pair fraction of the blocker's k·n upper bound."""
         with self._lock:
             return self._blocked_pairs.value
+
+    def probe_candidate_rate(self) -> float | None:
+        """Observed mean candidates ranked per index probe, or ``None``."""
+        with self._lock:
+            return self._probe_candidates.value
 
     def call_ratio(self, label: str) -> float | None:
         """Observed actual/estimated call ratio for a strategy label."""
@@ -289,6 +306,7 @@ class RuntimeStats:
                 or self._pair_match.denominator
                 or self._join.denominator
                 or self._blocked_pairs.denominator
+                or self._probe_candidates.denominator
                 or self._cache.denominator
             )
 
@@ -303,6 +321,7 @@ class RuntimeStats:
                 "pair_match_rate": self._pair_match.value,
                 "join_selectivity": self._join.value,
                 "blocked_pair_rate": self._blocked_pairs.value,
+                "probe_candidate_rate": self._probe_candidates.value,
                 "call_ratio": {label: ratio.value for label, ratio in self._calls.items()},
                 "call_count": {
                     label: int(round(count)) for label, count in self._call_counts.items()
@@ -334,6 +353,7 @@ class RuntimeStats:
                 "pair_match": pair(self._pair_match),
                 "join": pair(self._join),
                 "blocked_pairs": pair(self._blocked_pairs),
+                "probe_candidates": pair(self._probe_candidates),
                 "calls": {label: pair(r) for label, r in self._calls.items()},
                 "call_counts": dict(self._call_counts),
                 "runs": dict(self._runs),
@@ -365,6 +385,7 @@ class RuntimeStats:
             add(self._pair_match, state.get("pair_match", (0, 0)))
             add(self._join, state.get("join", (0, 0)))
             add(self._blocked_pairs, state.get("blocked_pairs", (0, 0)))
+            add(self._probe_candidates, state.get("probe_candidates", (0, 0)))
             for label, pair in dict(state.get("calls", {})).items():
                 add(self._calls.setdefault(label, _Ratio()), pair)
             for label, count in dict(state.get("call_counts", {})).items():
@@ -518,6 +539,11 @@ class PhysicalPlanner:
                 name,
                 registry=self.session.registry,
                 stats=self.stats if with_stats else None,
+                # The durable response cache (when the session has one) lets
+                # quotes price already-answered prompts at zero; the
+                # stats-free planner is the structural baseline for call
+                # ratios and must stay undiscounted.
+                response_cache=self.session.cache if with_stats else None,
             )
         return self._planners[key]
 
@@ -691,7 +717,7 @@ class PhysicalPlanner:
                 ]
             return [("pairwise", {}), ("blocked_pairwise", {}), ("single_prompt", {})]
         if isinstance(spec, ImputeSpec):
-            return [("hybrid", {}), ("llm_only", {}), ("knn", {})]
+            return [("hybrid", {}), ("retrieval", {}), ("llm_only", {}), ("knn", {})]
         if isinstance(spec, FilterSpec):
             return [("per_item", {})]
         if isinstance(spec, CategorizeSpec):
@@ -902,6 +928,7 @@ class PhysicalPlanner:
         candidates = [
             StrategyCandidate(name="knn", cost_scaling="linear"),
             StrategyCandidate(name="hybrid", cost_scaling="linear"),
+            StrategyCandidate(name="retrieval", cost_scaling="linear"),
             StrategyCandidate(name="llm_only", cost_scaling="linear"),
         ]
 

@@ -19,6 +19,7 @@ apportions the remaining budget across pending steps.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Mapping, Sequence
@@ -36,6 +37,13 @@ from repro.core.spec import (
     TopKSpec,
 )
 from repro.exceptions import ConfigurationError, SpecError
+from repro.llm.prompts import (
+    categorize_prompt,
+    duplicate_check_prompt,
+    impute_prompt,
+    pairwise_comparison_prompt,
+    predicate_check_prompt,
+)
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.tokenizer.cost import Usage
 from repro.tokenizer.simple import SimpleTokenizer
@@ -222,6 +230,13 @@ class CostPlanner:
             priced at their observed selectivity, and strategies with a
             recorded actual/estimated call ratio are scaled by it.  Without
             stats the planner quotes exactly from the priors.
+        response_cache: optional response cache with a ``contains(model,
+            prompt)`` probe (the store-backed
+            :class:`~repro.store.PersistentResponseCache` has one).  When
+            given, quoting reconstructs the *statically-known* prompts a
+            spec would send and prices the ones already cached at zero —
+            so a fresh session quoting a previously-run workload sees the
+            durable cache's savings before anything executes.
     """
 
     def __init__(
@@ -230,11 +245,15 @@ class CostPlanner:
         *,
         registry: ModelRegistry | None = None,
         stats: "RuntimeStats | None" = None,
+        response_cache: object | None = None,
     ) -> None:
         self.registry = registry or default_registry()
         self.spec = self.registry.get(model)
         self.tokenizer = SimpleTokenizer()
         self.stats = stats
+        self.response_cache = (
+            response_cache if hasattr(response_cache, "contains") else None
+        )
 
     # -- helpers --------------------------------------------------------------------
 
@@ -316,6 +335,48 @@ class CostPlanner:
         completion_tokens = calls * _SHORT_COMPLETION_TOKENS
         return self._estimate("pair_judgments", calls, prompt_tokens, completion_tokens)
 
+    # -- vector-index shapes ----------------------------------------------------------
+
+    #: Candidates an index probe ranks when no rate has been observed yet —
+    #: the LSH probe floor at its default k.
+    _DEFAULT_PROBE_CANDIDATES = 16.0
+
+    def index_build(self, texts: Sequence[str]) -> CostEstimate:
+        """Price building a vector index over ``texts``.
+
+        One *local* embedding call per text and zero LLM dollars: the
+        hashing embedder never leaves the process, so an index build spends
+        compute, not budget.  The calls/tokens still appear in the estimate
+        so ``.quote()`` can show the work the build replaces LLM spend with.
+        """
+        tokens = sum(self.tokenizer.count(str(text)) for text in texts)
+        usage = Usage(prompt_tokens=tokens, calls=len(texts))
+        return CostEstimate(
+            strategy="index:build", calls=len(texts), usage=usage, dollars=0.0
+        )
+
+    def index_probe(self, queries: Sequence[str]) -> CostEstimate:
+        """Price probing a built index once per query (zero LLM dollars).
+
+        Each probe embeds its query locally and distance-ranks a candidate
+        set (see :meth:`probe_candidate_rate` for the expected candidate
+        count); no tokens are generated, so like :meth:`index_build` the
+        estimate carries embed calls and zero dollars.
+        """
+        tokens = sum(self.tokenizer.count(str(query)) for query in queries)
+        usage = Usage(prompt_tokens=tokens, calls=len(queries))
+        return CostEstimate(
+            strategy="index:probe", calls=len(queries), usage=usage, dollars=0.0
+        )
+
+    def probe_candidate_rate(self) -> float:
+        """Expected candidates ranked per probe (observed, or the prior)."""
+        if self.stats is not None:
+            observed = self.stats.probe_candidate_rate()
+            if observed is not None:
+                return observed
+        return self._DEFAULT_PROBE_CANDIDATES
+
     # -- declarative specs ------------------------------------------------------------
 
     def estimate_spec(self, spec: TaskSpec) -> CostEstimate:
@@ -356,6 +417,13 @@ class CostPlanner:
         if not isinstance(spec, FilterSpec) and not self._blocked_rate_priced(spec):
             estimate = self._apply_call_ratio(estimate)
         estimate = self._apply_latency(estimate)
+        # Exact knowledge beats extrapolation: when the spec's prompts are
+        # statically known and some are already in the durable cache, price
+        # those at zero and skip the observed-hit-rate discount for this
+        # spec (the rate would re-count the same hits).
+        estimate, known = self._apply_known_hits(spec, estimate)
+        if known:
+            return estimate
         return self._apply_cache_discount(estimate)
 
     def _blocked_rate_priced(self, spec: TaskSpec) -> bool:
@@ -463,6 +531,110 @@ class CostPlanner:
         rate = min(rate, 0.99)
         return replace(estimate, dollars=estimate.dollars * (1.0 - rate))
 
+    #: At most this many statically-known prompts are probed against the
+    #: persistent cache per spec — an O(n²) pairwise spec would otherwise
+    #: hash every pair before anything runs.
+    _CACHE_PROBE_CAP = 2048
+
+    def _static_prompts(self, spec: TaskSpec) -> list[str]:
+        """The exact prompts a spec would send, when they are statically known.
+
+        Only strategies whose prompt set is a pure function of the spec are
+        reconstructed (per-item filters/categorize, pairwise sorts and
+        resolves, all-pairs joins, example-free ``llm_only`` imputes);
+        blocked or validation-dependent strategies return nothing rather
+        than a guess.  Capped at :data:`_CACHE_PROBE_CAP` prompts.
+        """
+        cap = self._CACHE_PROBE_CAP
+        prompts: list[str] = []
+
+        def extend(candidates) -> None:
+            for prompt in candidates:
+                if len(prompts) >= cap:
+                    return
+                prompts.append(prompt)
+
+        if isinstance(spec, FilterSpec) and spec.strategy in ("per_item", "auto"):
+            extend(
+                predicate_check_prompt(str(item), predicate)
+                for predicate in spec.all_predicates
+                for item in spec.items
+            )
+        elif isinstance(spec, CategorizeSpec) and spec.strategy in ("per_item", "auto"):
+            categories = list(spec.categories)
+            extend(categorize_prompt(str(item), categories) for item in spec.items)
+        elif isinstance(spec, SortSpec) and spec.strategy in ("pairwise", "auto"):
+            items = [str(item) for item in spec.items]
+            extend(
+                pairwise_comparison_prompt(first, second, spec.criterion)
+                for first, second in itertools.combinations(items, 2)
+            )
+        elif isinstance(spec, ResolveSpec):
+            if spec.pairs and spec.strategy == "pairwise":
+                extend(
+                    duplicate_check_prompt(str(left), str(right))
+                    for left, right in spec.pairs
+                )
+            elif not spec.pairs and spec.strategy in ("pairwise", "auto"):
+                records = [str(record) for record in spec.records]
+                extend(
+                    duplicate_check_prompt(left, right)
+                    for left, right in itertools.combinations(records, 2)
+                )
+        elif isinstance(spec, JoinSpec) and spec.strategy == "all_pairs":
+            extend(
+                duplicate_check_prompt(str(left), str(right))
+                for left in spec.left
+                for right in spec.right
+            )
+        elif (
+            isinstance(spec, ImputeSpec)
+            and spec.strategy == "llm_only"
+            and spec.n_examples == 0
+            and spec.data is not None
+        ):
+            extend(
+                impute_prompt(spec.data.serialized_query(record), spec.data.target_attribute)
+                for record in spec.data.queries
+            )
+        return prompts
+
+    def known_cached_calls(self, spec: TaskSpec) -> tuple[int, int]:
+        """``(known_hits, probed)`` statically-known prompts of a spec.
+
+        Probes the planner's response cache without counting the probes as
+        cache traffic (see ``PersistentResponseCache.contains`` — quoting a
+        workload is not serving it).  ``(0, 0)`` without a probing cache or
+        when the spec's prompt set cannot be known before running.
+        """
+        if self.response_cache is None:
+            return (0, 0)
+        prompts = self._static_prompts(spec)
+        if not prompts:
+            return (0, 0)
+        model = self.spec.name
+        contains = self.response_cache.contains  # type: ignore[attr-defined]
+        hits = sum(1 for prompt in prompts if contains(model, prompt))
+        return (hits, len(prompts))
+
+    def _apply_known_hits(
+        self, spec: TaskSpec, estimate: CostEstimate
+    ) -> tuple[CostEstimate, bool]:
+        """Price the statically-known, already-cached fraction at zero.
+
+        Unlike the observed-rate discount (an extrapolation capped below
+        1), these are certainties — the exact prompts were probed against
+        the durable cache — so a fully-cached workload quotes exactly zero
+        dollars.  Returns the estimate plus whether a discount applied.
+        """
+        if estimate.dollars <= 0.0 or estimate.calls <= 0:
+            return estimate, False
+        hits, _ = self.known_cached_calls(spec)
+        if hits <= 0:
+            return estimate, False
+        fraction = min(1.0, hits / max(estimate.calls, 1))
+        return replace(estimate, dollars=estimate.dollars * (1.0 - fraction)), True
+
     def cache_discount_note(self) -> str | None:
         """The "prior -> observed" annotation for an applied cache discount."""
         if self.stats is None:
@@ -555,12 +727,38 @@ class CostPlanner:
                 estimate = self.pairwise(records)
         return replace(estimate, strategy=f"resolve:{strategy}")
 
+    #: Prior escalation fraction of the retrieval impute strategy: the share
+    #: of queries whose index-retrieved neighbors disagree and go to the LLM
+    #: (Table 4's hybrid runs escalate roughly half; the recorded call ratio
+    #: replaces this prior once a run has been observed).
+    _RETRIEVAL_ESCALATION_PRIOR = 0.5
+    #: Neighbor evidence records each retrieval-escalated prompt carries
+    #: (the operator's default ``k``).
+    _RETRIEVAL_EVIDENCE_NEIGHBORS = 3
+
     def _estimate_impute(self, spec: ImputeSpec) -> CostEstimate:
         assert spec.data is not None  # spec.validate() guarantees this
         strategy = spec.strategy
         if strategy == "knn":
             # Pure proxy imputation: no LLM calls at all.
             estimate = self._estimate("knn", calls=0, prompt_tokens=0, completion_tokens=0)
+        elif strategy == "retrieval":
+            # Index-grounded hybrid: only the disagreeing fraction escalates,
+            # and each escalated prompt carries the retrieved neighbors as
+            # in-context evidence (k extra records' worth of prompt tokens).
+            # The index build/probe itself is local embed work at zero
+            # dollars (see index_build/index_probe) and adds no LLM calls.
+            queries = [spec.data.serialized_query(record) for record in spec.data.queries]
+            base = self.per_item(queries)
+            calls = max(1, int(round(base.calls * self._RETRIEVAL_ESCALATION_PRIOR)))
+            fraction = calls / max(1, base.calls)
+            evidence = 1 + self._RETRIEVAL_EVIDENCE_NEIGHBORS
+            estimate = self._estimate(
+                "retrieval",
+                calls=calls,
+                prompt_tokens=base.usage.prompt_tokens * fraction * evidence,
+                completion_tokens=base.usage.completion_tokens * fraction,
+            )
         else:
             queries = [spec.data.serialized_query(record) for record in spec.data.queries]
             estimate = self.per_item(queries)
@@ -699,12 +897,22 @@ class CostPlanner:
         pipeline.validate()
         steps: dict[str, CostEstimate] = {}
         unquoted: list[str] = []
+        known_hits = 0
+        known_probed = 0
         for step in pipeline.steps:
             if isinstance(step.task, TaskSpec):
                 steps[step.name] = self.estimate_spec(step.task)
+                hits, probed = self.known_cached_calls(step.task)
+                known_hits += hits
+                known_probed += probed
             else:
                 unquoted.append(step.name)
         notes: list[str] = []
+        if known_hits:
+            notes.append(
+                f"persistent cache: {known_hits} of {known_probed} statically-known "
+                "calls already cached (priced at zero)"
+            )
         discount = self.cache_discount_note()
         if discount is not None and steps:
             notes.append(discount)

@@ -99,7 +99,14 @@ class ResolveSpec(TaskSpec):
 
 @dataclass
 class ImputeSpec(TaskSpec):
-    """Impute the missing attribute of an :class:`ImputationDataset`."""
+    """Impute the missing attribute of an :class:`ImputationDataset`.
+
+    Strategies: ``"knn"`` (proxy only), ``"llm_only"``, ``"hybrid"``
+    (unanimous neighbors answer for free), and ``"retrieval"`` — the hybrid
+    escalation with neighbors pulled from a vector index over the reference
+    embeddings, each escalated prompt grounded in those retrieved labelled
+    records.  ``"auto"`` lets the physical planner choose among them.
+    """
 
     data: ImputationDataset | None = None
     n_examples: int = 0

@@ -101,18 +101,41 @@ class JoinOperator(BaseOperator):
             return False
 
     def _candidate_pairs(
-        self, left: list[str], right: list[str], block_k: int
+        self,
+        left: list[str],
+        right: list[str],
+        block_k: int,
+        index_kind: str | None = None,
     ) -> list[tuple[int, int]]:
-        """Cross-side candidate pairs whose embeddings are mutual near neighbors."""
+        """Cross-side candidate pairs whose embeddings are near neighbors.
+
+        With ``index_kind`` unset, every (left, right) distance is computed
+        in one Gram-matrix pass — exact, O(|L||R|).  With ``index_kind`` set
+        (``"exact"``, ``"lsh"``, or ``"auto"``), the right side is loaded
+        into a :class:`~repro.index.base.VectorIndex` and each left record
+        probes it, so large right sides stop costing a full scan per join.
+        """
         left_matrix = self.embedder.embed_batch(left)
         right_matrix = self.embedder.embed_batch(right)
+        k = min(block_k, len(right))
+        if index_kind is not None:
+            from repro.index import create_index
+
+            index = create_index(
+                index_kind, self.embedder.dimensions, expected_size=len(right)
+            )
+            index.add(right_matrix)
+            pairs_via_index: set[tuple[int, int]] = set()
+            for left_index in range(len(left)):
+                for right_index, _ in index.search(left_matrix[left_index], k):
+                    pairs_via_index.add((left_index, int(right_index)))
+            return sorted(pairs_via_index)
         # Squared L2 distances between every left row and every right row.
         left_norms = np.sum(left_matrix * left_matrix, axis=1)
         right_norms = np.sum(right_matrix * right_matrix, axis=1)
         distances = (
             left_norms[:, None] + right_norms[None, :] - 2.0 * (left_matrix @ right_matrix.T)
         )
-        k = min(block_k, len(right))
         pairs: set[tuple[int, int]] = set()
         for left_index in range(len(left)):
             nearest = np.argsort(distances[left_index])[:k]
@@ -132,10 +155,17 @@ class JoinOperator(BaseOperator):
             strategy="all_pairs", matches=matches, candidate_pairs=total, llm_pairs=total
         )
 
-    def _run_blocked(self, left: list[str], right: list[str], *, block_k: int = 3) -> JoinResult:
+    def _run_blocked(
+        self,
+        left: list[str],
+        right: list[str],
+        *,
+        block_k: int = 3,
+        index_kind: str | None = None,
+    ) -> JoinResult:
         if block_k < 1:
             raise ConfigurationError("block_k must be at least 1")
-        candidates = self._candidate_pairs(left, right, block_k)
+        candidates = self._candidate_pairs(left, right, block_k, index_kind)
         matches = [
             (left_index, right_index)
             for left_index, right_index in candidates
@@ -155,11 +185,12 @@ class JoinOperator(BaseOperator):
         *,
         block_k: int = 3,
         proxy: SimilarityMatchProxy | None = None,
+        index_kind: str | None = None,
     ) -> JoinResult:
         if block_k < 1:
             raise ConfigurationError("block_k must be at least 1")
         proxy = proxy or SimilarityMatchProxy()
-        candidates = self._candidate_pairs(left, right, block_k)
+        candidates = self._candidate_pairs(left, right, block_k, index_kind)
         matches = []
         llm_pairs = 0
         for left_index, right_index in candidates:

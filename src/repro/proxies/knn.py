@@ -11,10 +11,15 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.data.record import Dataset, Record
 from repro.exceptions import DatasetError
 from repro.proxies.similarity import token_cosine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.index.base import VectorIndex
+    from repro.llm.embeddings import HashingEmbedder
 
 
 @dataclass
@@ -41,9 +46,27 @@ class KNNImputer:
         reference: records with the target attribute known.
         target_attribute: the attribute to impute.
         k: number of neighbors consulted.
+        index: optional :class:`~repro.index.base.VectorIndex`; when given,
+            neighbor lookup probes the index (embedding similarity) instead
+            of scanning every reference record with ``token_cosine`` — the
+            same machinery that scales blocking scales the Table 4 hybrid.
+            An empty index is filled from the reference serialisations; a
+            pre-built one must hold ids ``0..len(reference)-1`` in reference
+            order.
+        embedder: embeds queries (and the reference, when the index starts
+            empty) for the index path; defaults to a fresh
+            :class:`~repro.llm.embeddings.HashingEmbedder`.
     """
 
-    def __init__(self, reference: Dataset, target_attribute: str, *, k: int = 3) -> None:
+    def __init__(
+        self,
+        reference: Dataset,
+        target_attribute: str,
+        *,
+        k: int = 3,
+        index: "VectorIndex | None" = None,
+        embedder: "HashingEmbedder | None" = None,
+    ) -> None:
         if k < 1:
             raise DatasetError("k must be at least 1")
         if len(reference) < k:
@@ -56,15 +79,41 @@ class KNNImputer:
         self._reference_texts = [
             record.serialize(exclude=(target_attribute,)) for record in reference
         ]
+        self.index = index
+        self.embedder = embedder
+        if index is not None:
+            if len(index) == 0:
+                if self.embedder is None:
+                    from repro.llm.embeddings import HashingEmbedder
 
-    def vote(self, query: Record) -> NeighborVote:
-        """Find the ``k`` nearest reference records and their value vote."""
-        query_text = query.serialize(exclude=(self.target_attribute,))
+                    self.embedder = HashingEmbedder()
+                index.add(self.embedder.embed_batch(self._reference_texts))
+            elif len(index) != len(reference):
+                raise DatasetError(
+                    f"the supplied index holds {len(index)} vectors but the "
+                    f"reference set has {len(reference)} records"
+                )
+            elif self.embedder is None:
+                from repro.llm.embeddings import HashingEmbedder
+
+                self.embedder = HashingEmbedder()
+
+    def _nearest(self, query_text: str) -> list[Record]:
+        """The ``k`` nearest reference records, nearest first."""
+        if self.index is not None:
+            assert self.embedder is not None
+            hits = self.index.search(self.embedder.embed(query_text), self.k)
+            return [self.reference.records[int(row_id)] for row_id, _ in hits]
         scored = sorted(
             zip(self.reference.records, self._reference_texts),
             key=lambda pair: -token_cosine(query_text, pair[1]),
         )
-        neighbors = [record for record, _ in scored[: self.k]]
+        return [record for record, _ in scored[: self.k]]
+
+    def vote(self, query: Record) -> NeighborVote:
+        """Find the ``k`` nearest reference records and their value vote."""
+        query_text = query.serialize(exclude=(self.target_attribute,))
+        neighbors = self._nearest(query_text)
         values = [str(record[self.target_attribute]) for record in neighbors]
         counts = Counter(values)
         top_count = max(counts.values())

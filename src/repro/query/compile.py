@@ -49,6 +49,7 @@ from repro.core.spec import (
     TopKSpec,
 )
 from repro.exceptions import SpecError
+from repro.index import build_index, corpus_index_name, resolve_embedder
 from repro.operators.resolve import PairJudgmentResult, ResolveResult
 from repro.proxies.blocking import EmbeddingBlocker
 from repro.query.plan import LogicalNode, LogicalPlan, estimated_items, validate_plan
@@ -92,6 +93,7 @@ def compile_plan(
     planner: CostPlanner | None = None,
     lineage_deps: bool = True,
     budget_dollars: float | None = None,
+    store: Any | None = None,
 ) -> CompiledQuery:
     """Lower ``plan`` to a :class:`PipelineSpec` (see module docstring)."""
     validate_plan(plan)
@@ -231,6 +233,7 @@ def compile_plan(
                 materialize,
                 build_spec,
                 pipeline_steps,
+                store,
             )
             estimate = _proxy_estimate(node, planner)
             compiled_steps.append(
@@ -310,9 +313,27 @@ def compile_plan(
         description="compiled from a fluent Dataset query",
     )
     spec.validate()
-    quote_notes = tuple(
-        note for note in (planner.cache_discount_note(),) if note is not None
-    )
+    notes: list[str] = []
+    if planner is not None and hasattr(planner, "known_cached_calls"):
+        # Statically-compiled steps have concrete specs, so their prompts
+        # can be probed against the durable response cache right now: a
+        # fresh session quoting a previously-run workload reports the known
+        # hits (priced at zero inside each step's estimate).
+        known_hits = known_probed = 0
+        for step in pipeline_steps:
+            if isinstance(step.task, TaskSpec):
+                hits, probed = planner.known_cached_calls(step.task)
+                known_hits += hits
+                known_probed += probed
+        if known_hits:
+            notes.append(
+                f"persistent cache: {known_hits} of {known_probed} "
+                "statically-known calls already cached (priced at zero)"
+            )
+    discount_note = planner.cache_discount_note() if planner is not None else None
+    if discount_note is not None:
+        notes.append(discount_note)
+    quote_notes = tuple(notes)
     quote = PipelineQuote(
         pipeline=plan.name, steps=quoted, unquoted=tuple(unquoted), notes=quote_notes
     )
@@ -406,6 +427,7 @@ def _emit_proxy_resolve(
     materialize: Callable[[LogicalNode, Mapping[str, Any]], list[str]],
     build_spec: Callable[..., TaskSpec],
     pipeline_steps: list[PipelineStep],
+    compile_store: Any | None = None,
 ) -> tuple[str, tuple[str, ...]]:
     """Emit the blocking + pair-judgment step pair for a proxy resolve."""
     parent = node.inputs[0]
@@ -415,7 +437,61 @@ def _emit_proxy_resolve(
         items = _unique(materialize(parent, inputs))
         if len(items) < 2:
             return None
-        return EmbeddingBlocker(k=min(block_k, max(1, len(items) - 1))).block(items)
+        # Route neighbor-finding through the vector-index layer: embeddings
+        # go through the store's durable cache, and the built index
+        # persists under a content-fingerprinted name, so re-running the
+        # same workload neither re-embeds nor rebuilds.  Corpus size picks
+        # exact vs LSH ("auto"), which is what keeps blocking sub-quadratic
+        # once item lists grow past a few thousand.
+        store = (
+            compile_store
+            if compile_store is not None
+            else getattr(session, "store", None)
+        )
+        embedder = resolve_embedder(store=store)
+        index_name = corpus_index_name(items, embedder, prefix="block")
+        reused = False
+        index: Any = None
+        if store is not None:
+            index = store.load_vector_index(index_name)
+            if (
+                index is not None
+                and len(index) == len(items)
+                and index.dimensions == embedder.dimensions
+            ):
+                reused = True
+            else:
+                index = None
+        if index is None:
+            index = build_index(
+                items,
+                embedder=embedder,
+                store=store,
+                name=index_name if store is not None else None,
+            )
+        k = min(block_k, max(1, len(items) - 1))
+        probes_before = int(getattr(index, "probes", 0))
+        candidates_before = int(getattr(index, "candidates_examined", 0))
+        result = EmbeddingBlocker(k=k, embedder=embedder, index=index).block(items)
+        probed = int(getattr(index, "probes", 0)) - probes_before
+        stats = getattr(session, "stats", None)
+        if stats is not None and probed > 0:
+            stats.record_probe_candidates(
+                candidates=int(getattr(index, "candidates_examined", 0))
+                - candidates_before,
+                probed=probed,
+            )
+        tracer = getattr(session, "tracer", None)
+        if tracer is not None:
+            tracer.record(
+                operator=f"index:{getattr(index, 'kind', 'unknown')}",
+                model=str(getattr(embedder, "model", "embedder")),
+                prompt=f"knn_graph(k={k}) over {len(items)} texts [{index_name}]",
+                response_text=f"{result.n_candidates} candidate pairs",
+                cost=0.0,
+                cache_hit=reused,
+            )
+        return result
 
     pipeline_steps.append(
         PipelineStep(

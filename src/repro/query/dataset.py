@@ -39,9 +39,10 @@ from repro.core.spec import PipelineSpec
 from repro.core.workflow import WorkflowReport
 from repro.data.products import ImputationDataset
 from repro.exceptions import SpecError
+from repro.index import build_index, corpus_index_name, resolve_embedder
 from repro.query.compile import CompiledQuery, compile_plan
 from repro.query.optimizer import optimize
-from repro.query.plan import LogicalNode, LogicalPlan, source
+from repro.query.plan import ANNOTATORS, LogicalNode, LogicalPlan, source
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import Store
@@ -366,6 +367,60 @@ class Dataset:
             _store=store,
         )
 
+    # -- semantic search -------------------------------------------------------------
+
+    def _static_items(self) -> list[str]:
+        """The dataset's item list, when it is statically known.
+
+        Annotating ops (categorize/cluster/impute) pass items through, so
+        chains of them still expose the source items.  Below a reducer
+        (filter, sort, resolve, top_k, join) the items only exist after a
+        run — searching a guess would be wrong, so that is an error.
+        """
+        node = self._node
+        while node.op in ANNOTATORS:
+            node = node.inputs[0]
+        if node.op != "source":
+            raise SpecError(
+                f"search needs statically-known items, but {node.op!r} only "
+                "produces its output at run time; call .run(...) and search "
+                "a new Dataset over result.items instead"
+            )
+        return [str(item) for item in node.params["items"]]
+
+    def search(self, query: str, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` items nearest to ``query`` in embedding space.
+
+        Zero LLM calls: the items are embedded (through the attached
+        store's durable cache, when one is attached via
+        :meth:`with_store`), indexed — exact for small datasets, LSH past
+        a few thousand items — and probed once.  With a store, the built
+        index persists under a content-addressed name, so repeated
+        searches over an unchanged dataset neither re-embed nor rebuild.
+
+        Returns ``(item, distance)`` pairs, nearest first.
+        """
+        if not query:
+            raise SpecError("search needs a query")
+        if k < 1:
+            raise SpecError("k must be at least 1")
+        items = self._static_items()
+        if not items:
+            return []
+        embedder = resolve_embedder(store=self._store)
+        index = build_index(
+            items,
+            embedder=embedder,
+            store=self._store,
+            name=(
+                corpus_index_name(items, embedder, prefix="search")
+                if self._store is not None
+                else None
+            ),
+        )
+        hits = index.search(embedder.embed(query), min(k, len(items)))
+        return [(items[int(row_id)], float(distance)) for row_id, distance in hits]
+
     # -- plan access -----------------------------------------------------------------
 
     def logical_plan(self) -> LogicalPlan:
@@ -377,9 +432,18 @@ class Dataset:
         return optimize(self.logical_plan(), planner=planner or self._default_planner())
 
     def compile(
-        self, *, optimized: bool = True, planner: CostPlanner | None = None
+        self,
+        *,
+        optimized: bool = True,
+        planner: CostPlanner | None = None,
+        store: "Store | None" = None,
     ) -> CompiledQuery:
-        """Lower the (optionally optimized) plan to a pipeline spec + quote."""
+        """Lower the (optionally optimized) plan to a pipeline spec + quote.
+
+        ``store`` (defaulting to the one attached via :meth:`with_store`)
+        is where LLM-free blocking steps persist their embeddings and
+        vector indexes.
+        """
         planner = planner or self._default_planner()
         plan = self.optimized_plan(planner=planner) if optimized else self.logical_plan()
         return compile_plan(
@@ -387,6 +451,7 @@ class Dataset:
             planner=planner,
             lineage_deps=optimized,
             budget_dollars=self._budget_dollars,
+            store=store if store is not None else self._store,
         )
 
     def to_pipeline(
@@ -445,7 +510,7 @@ class Dataset:
             store = self._store
         if store is None:
             store = getattr(engine.session, "store", None)
-        compiled = self.compile(optimized=optimized, planner=engine.planner())
+        compiled = self.compile(optimized=optimized, planner=engine.planner(), store=store)
         report = engine.run_pipeline(
             compiled.spec,
             quote=compiled.quote,
@@ -487,7 +552,11 @@ class Dataset:
         return compiled.extract_output(report.results)
 
     def _default_planner(self) -> CostPlanner:
-        return CostPlanner(DEFAULT_CONFIG.chat_model)
+        # With a store attached, quotes probe its durable response cache:
+        # statically-known prompts a previous session already paid for are
+        # priced at zero even before any engine/session exists.
+        cache = self._store.response_cache() if self._store is not None else None
+        return CostPlanner(DEFAULT_CONFIG.chat_model, response_cache=cache)
 
     def __repr__(self) -> str:
         ops = " -> ".join(node.op for node in self.logical_plan().nodes())

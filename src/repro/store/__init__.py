@@ -20,17 +20,23 @@ See ``docs/api.md`` ("The store subsystem") for the user-facing tour and
 
 from repro.store.checkpoint import CHECKPOINT_VERSION, decode_result, encode_result
 from repro.store.db import APPLICATION_ID, SCHEMA_VERSION, StoreDB
-from repro.store.fingerprint import FingerprintError, fingerprint_spec
+from repro.store.fingerprint import (
+    FingerprintError,
+    fingerprint_embedding,
+    fingerprint_spec,
+)
 from repro.store.jobs import JOB_STATUSES, TERMINAL_STATUSES, JobRecord
 from repro.store.namespace import StoreNamespace
 from repro.store.profile import DEFAULT_DECAY, PROFILE_VERSION, WorkloadProfile
 from repro.store.response_cache import PersistentResponseCache
 from repro.store.store import Store
+from repro.store.vectors import EmbeddingCache
 
 __all__ = [
     "APPLICATION_ID",
     "CHECKPOINT_VERSION",
     "DEFAULT_DECAY",
+    "EmbeddingCache",
     "FingerprintError",
     "JOB_STATUSES",
     "JobRecord",
@@ -44,5 +50,6 @@ __all__ = [
     "WorkloadProfile",
     "decode_result",
     "encode_result",
+    "fingerprint_embedding",
     "fingerprint_spec",
 ]

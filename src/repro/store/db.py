@@ -44,7 +44,7 @@ APPLICATION_ID = 0x5250_5253  # spells "RPRS"
 
 #: Bump whenever the table layout changes.  Older stores are rebuilt (their
 #: contents are all derived data); newer stores are refused.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -109,10 +109,35 @@ CREATE TABLE IF NOT EXISTS jobs (
     updated_seq INTEGER NOT NULL
 );
 CREATE INDEX IF NOT EXISTS jobs_tenant ON jobs (tenant, submitted_seq);
+CREATE TABLE IF NOT EXISTS embeddings (
+    fingerprint TEXT PRIMARY KEY,
+    model TEXT NOT NULL,
+    dimensions INTEGER NOT NULL,
+    vector BLOB NOT NULL,
+    access_seq INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS embeddings_access ON embeddings (access_seq);
+CREATE TABLE IF NOT EXISTS vector_indexes (
+    name TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    dimensions INTEGER NOT NULL,
+    size INTEGER NOT NULL,
+    payload BLOB NOT NULL,
+    updated_seq INTEGER NOT NULL
+);
 """
 
 #: Tables dropped when an older schema is rebuilt.
-_TABLES = ("meta", "cache", "profiles", "checkpoints", "traces", "jobs")
+_TABLES = (
+    "meta",
+    "cache",
+    "profiles",
+    "checkpoints",
+    "traces",
+    "jobs",
+    "embeddings",
+    "vector_indexes",
+)
 
 
 class StoreDB:

@@ -118,3 +118,28 @@ def fingerprint_spec(spec: TaskSpec) -> str:
         spec_payload(spec), sort_keys=True, separators=(",", ":"), ensure_ascii=True
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_embedding(
+    text: str, *, model: str, dimensions: int, ngram_sizes: tuple[int, ...] = ()
+) -> str:
+    """Content fingerprint of one embedding: the text *and* the function.
+
+    The embedder configuration is part of the key so a cached vector is
+    only ever reused when the same text would embed to the same vector —
+    change the model, the dimensionality, or the n-gram mix and every
+    fingerprint changes with it.
+    """
+    payload = json.dumps(
+        {
+            "embedding": FINGERPRINT_VERSION,
+            "text": text,
+            "model": model,
+            "dimensions": dimensions,
+            "ngram_sizes": list(ngram_sizes),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

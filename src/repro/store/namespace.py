@@ -107,6 +107,26 @@ class StoreNamespace:
     def load_checkpoint(self, fingerprint: str) -> "OperatorResult | None":
         return self.store.load_checkpoint(self._scoped(fingerprint))
 
+    def embedding_cache(self):
+        """The shared embedding cache — deliberately *not* namespaced.
+
+        A stored vector is a pure function of ``(text, embedder config)``
+        computed locally at zero dollars: a cross-tenant hit reuses
+        arithmetic, not another tenant's paid-for content, and the cache
+        exposes no way to enumerate entries — so sharing it is safe and
+        makes the whole deployment embed each distinct text once.
+        """
+        return self.store.embedding_cache()
+
+    def save_vector_index(self, name: str, index) -> None:
+        self.store.save_vector_index(self._scoped(name), index)
+
+    def load_vector_index(self, name: str):
+        return self.store.load_vector_index(self._scoped(name))
+
+    def delete_vector_index(self, name: str) -> None:
+        self.store.delete_vector_index(self._scoped(name))
+
     def save_trace_records(self, records: "list[TraceRecord]", *, origin: str) -> None:
         self.store.save_trace_records(records, origin=self._scoped(origin))
 

@@ -147,6 +147,16 @@ class PersistentResponseCache:
             self.stats.hits += 1
             return decode_response(rows[0][0])
 
+    def contains(self, model: str, prompt: str) -> bool:
+        """Whether a response is stored, without counting or touching it.
+
+        The quote path uses this to pre-probe statically-known prompts: a
+        quote must not perturb this instance's hit/miss accounting nor the
+        entries' LRU recency — quoting a workload is not serving it.
+        """
+        key = _key(model, prompt, self.namespace)
+        return bool(self._db.execute("SELECT 1 FROM cache WHERE key = ?", (key,)))
+
     def put(self, model: str, prompt: str, response: LLMResponse) -> None:
         payload = encode_response(response)
         size = len(payload.encode("utf-8")) + len(prompt.encode("utf-8", "surrogatepass"))

@@ -39,10 +39,12 @@ from repro.store.jobs import (
 )
 from repro.store.profile import DEFAULT_DECAY, WorkloadProfile
 from repro.store.response_cache import PersistentResponseCache
+from repro.store.vectors import EmbeddingCache
 from repro.trace import TraceRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.physical import RuntimeStats
+    from repro.index.base import VectorIndex
     from repro.store.namespace import StoreNamespace
 
 
@@ -65,16 +67,20 @@ class Store:
         max_cache_bytes: int | None = None,
         max_checkpoints: int = 10_000,
         max_trace_records: int = 50_000,
+        max_embedding_entries: int = 500_000,
     ) -> None:
         if max_checkpoints <= 0:
             raise ValueError("max_checkpoints must be positive")
         if max_trace_records <= 0:
             raise ValueError("max_trace_records must be positive")
+        if max_embedding_entries <= 0:
+            raise ValueError("max_embedding_entries must be positive")
         self.db = StoreDB(path)
         self.max_checkpoints = max_checkpoints
         self.max_trace_records = max_trace_records
         self.max_cache_entries = max_cache_entries
         self.max_cache_bytes = max_cache_bytes
+        self.max_embedding_entries = max_embedding_entries
         self._cache = self.response_cache()
 
     @property
@@ -106,6 +112,78 @@ class Store:
         from repro.store.namespace import StoreNamespace  # breaks import cycle
 
         return StoreNamespace(self, prefix)
+
+    # -- embedding vectors --------------------------------------------------------
+
+    def embedding_cache(self) -> EmbeddingCache:
+        """A durable embedding-vector cache view (fresh hit/miss counters).
+
+        Like :meth:`response_cache`, every call returns a new instance over
+        the shared rows, so each consumer (a
+        :class:`~repro.index.CachedEmbedder`, a test pinning zero
+        recomputation) reads its own hit rate.
+        """
+        return EmbeddingCache(self.db, max_entries=self.max_embedding_entries)
+
+    def embedding_count(self) -> int:
+        return int(self.db.execute("SELECT COUNT(*) FROM embeddings")[0][0])
+
+    # -- vector indexes -----------------------------------------------------------
+
+    def save_vector_index(self, name: str, index: "VectorIndex") -> None:
+        """Persist a built index under ``name`` (replacing any previous one)."""
+        self.db.execute(
+            "INSERT OR REPLACE INTO vector_indexes "
+            "(name, kind, dimensions, size, payload, updated_seq) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                name,
+                index.kind,
+                index.dimensions,
+                len(index),
+                index.to_payload(),
+                self.db.next_seq(),
+            ),
+        )
+
+    def load_vector_index(self, name: str) -> "VectorIndex | None":
+        """Rebuild the stored index, or ``None`` when absent or unreadable.
+
+        An unreadable payload (an index kind this library version does not
+        know, a mangled row) reports a miss — rebuilding an index is always
+        correct, exactly like a failed checkpoint load.
+        """
+        rows = self.db.execute(
+            "SELECT kind, payload FROM vector_indexes WHERE name = ?", (name,)
+        )
+        if not rows:
+            return None
+        from repro.index import index_from_payload  # breaks import cycle
+
+        try:
+            return index_from_payload(rows[0][0], rows[0][1])
+        except Exception:
+            return None
+
+    def delete_vector_index(self, name: str) -> None:
+        self.db.execute("DELETE FROM vector_indexes WHERE name = ?", (name,))
+
+    def list_vector_indexes(self) -> list[dict[str, Any]]:
+        """Stored index summaries (name, kind, dimensions, size)."""
+        return [
+            {
+                "name": row[0],
+                "kind": row[1],
+                "dimensions": int(row[2]),
+                "size": int(row[3]),
+            }
+            for row in self.db.execute(
+                "SELECT name, kind, dimensions, size FROM vector_indexes ORDER BY name"
+            )
+        ]
+
+    def vector_index_count(self) -> int:
+        return int(self.db.execute("SELECT COUNT(*) FROM vector_indexes")[0][0])
 
     # -- workload profiles --------------------------------------------------------
 
@@ -418,6 +496,8 @@ class Store:
             "checkpoints": self.checkpoint_count(),
             "traces": self.trace_count(),
             "jobs": self.job_count(),
+            "embeddings": self.embedding_count(),
+            "vector_indexes": self.vector_index_count(),
         }
 
     def close(self) -> None:

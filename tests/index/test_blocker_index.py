@@ -1,0 +1,106 @@
+"""Index-backed blocking and joining must agree with the legacy scans.
+
+The exact index reproduces the scan's arithmetic, so candidate pairs (and
+hence Table 3 blocking call counts) are pinned identical at equal k.  The
+LSH path is approximate by contract, so it is pinned to produce a *subset*
+of plausible pairs with high overlap, not equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.index import ExactIndex, LSHIndex, build_index
+from repro.llm.embeddings import HashingEmbedder
+from repro.llm.oracle import Oracle
+from repro.llm.simulated import SimulatedLLM
+from repro.operators.join import JoinOperator
+from repro.proxies.blocking import EmbeddingBlocker
+from tests.query.support import clean_behavior, product_corpus
+
+
+def _corpus(n_entities: int = 8, variants: int = 3) -> list[str]:
+    items, _ = product_corpus(n_entities, variants)
+    return items
+
+
+class TestBlockerIndexEquality:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_exact_index_matches_scan_candidates(self, k):
+        texts = _corpus()
+        embedder = HashingEmbedder()
+        scan = EmbeddingBlocker(embedder=embedder, k=k).block(texts)
+        index = ExactIndex(embedder.dimensions)
+        indexed = EmbeddingBlocker(embedder=embedder, k=k, index=index).block(texts)
+        assert indexed.candidate_pairs == scan.candidate_pairs
+        assert indexed.neighbors == scan.neighbors
+
+    def test_prebuilt_index_is_probed_not_rebuilt(self):
+        texts = _corpus()
+        embedder = HashingEmbedder()
+        index = build_index(texts, embedder=embedder, kind="exact")
+        embed_calls_after_build = embedder.usage.calls
+        result = EmbeddingBlocker(embedder=embedder, k=2, index=index).block(texts)
+        # Blocking through the prebuilt index embeds nothing new.
+        assert embedder.usage.calls == embed_calls_after_build
+        assert result.candidate_pairs == EmbeddingBlocker(embedder=embedder, k=2).block(texts).candidate_pairs
+
+    def test_mismatched_prebuilt_index_rejected(self):
+        texts = _corpus()
+        embedder = HashingEmbedder()
+        index = build_index(texts[:5], embedder=embedder, kind="exact")
+        with pytest.raises(ConfigurationError, match="holds 5 vectors"):
+            EmbeddingBlocker(embedder=embedder, k=2, index=index).block(texts)
+
+    def test_lsh_index_recovers_most_scan_pairs(self):
+        texts = _corpus(10, 4)
+        embedder = HashingEmbedder()
+        scan_pairs = set(EmbeddingBlocker(embedder=embedder, k=3).block(texts).candidate_pairs)
+        lsh = LSHIndex.for_corpus(embedder.dimensions, len(texts), seed=0)
+        lsh_pairs = set(
+            EmbeddingBlocker(embedder=embedder, k=3, index=lsh).block(texts).candidate_pairs
+        )
+        overlap = len(scan_pairs & lsh_pairs) / len(scan_pairs)
+        assert overlap >= 0.9
+
+
+class TestJoinIndexEquality:
+    @staticmethod
+    def _operator() -> JoinOperator:
+        oracle = Oracle()
+        entities = {}
+        for side in ("l", "r"):
+            for i in range(6):
+                entities[f"{side} record {i} payload"] = f"e{i}"
+        oracle.register_entities(entities)
+        client = SimulatedLLM(oracle, seed=11, behavior=clean_behavior())
+        return JoinOperator(client, model="sim-gpt-3.5-turbo")
+
+    def test_exact_index_candidates_match_scan(self):
+        operator = self._operator()
+        left = [f"l record {i} payload" for i in range(6)]
+        right = [f"r record {i} payload" for i in range(6)]
+        scan = operator._candidate_pairs(left, right, 2)
+        indexed = operator._candidate_pairs(left, right, 2, index_kind="exact")
+        assert indexed == scan
+
+    def test_blocked_join_through_index_matches_scan_join(self):
+        left = [f"l record {i} payload" for i in range(6)]
+        right = [f"r record {i} payload" for i in range(6)]
+        scan = self._operator().run(left, right, strategy="blocked", block_k=2)
+        indexed = self._operator().run(
+            left, right, strategy="blocked", block_k=2, index_kind="exact"
+        )
+        assert indexed.matches == scan.matches
+        assert indexed.candidate_pairs == scan.candidate_pairs
+        assert indexed.llm_pairs == scan.llm_pairs
+
+    def test_proxy_blocked_join_accepts_index_kind(self):
+        left = [f"l record {i} payload" for i in range(6)]
+        right = [f"r record {i} payload" for i in range(6)]
+        result = self._operator().run(
+            left, right, strategy="proxy_blocked", block_k=2, index_kind="auto"
+        )
+        assert result.candidate_pairs > 0
+        assert result.llm_pairs <= result.candidate_pairs

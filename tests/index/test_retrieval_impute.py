@@ -1,0 +1,115 @@
+"""Retrieval-grounded imputation: index-backed neighbors, deterministic fills.
+
+The ``retrieval`` strategy grounds every escalated prompt in the k nearest
+labelled reference records retrieved through a vector index.  Under the
+seeded :class:`SimulatedLLM` the whole path — embedding, index probes,
+escalation set, prompts, answers — is deterministic, which these tests pin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.products import generate_restaurant_dataset
+from repro.exceptions import DatasetError
+from repro.index import ExactIndex, build_index
+from repro.llm.embeddings import HashingEmbedder
+from repro.llm.simulated import SimulatedLLM
+from repro.operators.impute import ImputeOperator
+from repro.proxies.knn import KNNImputer
+
+
+def _operator(data, seed: int = 31) -> ImputeOperator:
+    return ImputeOperator(SimulatedLLM(data.oracle(), seed=seed), model="sim-claude")
+
+
+class TestKNNImputerIndexRoute:
+    def test_index_lookup_returns_reference_records(self, restaurant_data):
+        embedder = HashingEmbedder()
+        imputer = KNNImputer(
+            restaurant_data.reference,
+            restaurant_data.target_attribute,
+            k=3,
+            index=ExactIndex(embedder.dimensions),
+            embedder=embedder,
+        )
+        vote = imputer.vote(restaurant_data.queries[0])
+        assert len(vote.neighbors) == 3
+        reference_ids = {record.record_id for record in restaurant_data.reference}
+        assert {record.record_id for record in vote.neighbors} <= reference_ids
+
+    def test_prebuilt_index_is_not_re_embedded(self, restaurant_data):
+        embedder = HashingEmbedder()
+        texts = [
+            record.serialize(exclude=(restaurant_data.target_attribute,))
+            for record in restaurant_data.reference
+        ]
+        index = build_index(texts, embedder=embedder, kind="exact")
+        calls_after_build = embedder.usage.calls
+        imputer = KNNImputer(
+            restaurant_data.reference,
+            restaurant_data.target_attribute,
+            k=3,
+            index=index,
+            embedder=embedder,
+        )
+        imputer.vote(restaurant_data.queries[0])
+        # One embed call for the query, none for the reference set.
+        assert embedder.usage.calls == calls_after_build + 1
+
+    def test_mismatched_index_size_rejected(self, restaurant_data):
+        embedder = HashingEmbedder()
+        toosmall = build_index(["just one record"], embedder=embedder, kind="exact")
+        with pytest.raises(DatasetError, match="holds 1 vectors"):
+            KNNImputer(
+                restaurant_data.reference,
+                restaurant_data.target_attribute,
+                k=3,
+                index=toosmall,
+                embedder=embedder,
+            )
+
+    def test_default_scan_route_is_unchanged(self, restaurant_data):
+        """No ``index=`` keeps the original token_cosine behaviour."""
+        imputer = KNNImputer(restaurant_data.reference, restaurant_data.target_attribute, k=3)
+        assert imputer.index is None
+        vote = imputer.vote(restaurant_data.queries[0])
+        assert len(vote.neighbor_values) == 3
+
+
+class TestRetrievalStrategy:
+    def test_retrieval_predicts_every_query(self, restaurant_data):
+        result = _operator(restaurant_data).run(restaurant_data, strategy="retrieval")
+        assert set(result.predictions) == set(restaurant_data.ground_truth)
+        assert result.llm_queries + result.proxy_queries == len(restaurant_data.queries)
+
+    def test_retrieval_is_deterministic(self, restaurant_data):
+        first = _operator(restaurant_data).run(restaurant_data, strategy="retrieval")
+        second = _operator(restaurant_data).run(restaurant_data, strategy="retrieval")
+        assert first.predictions == second.predictions
+        assert first.llm_queries == second.llm_queries
+        assert first.usage.calls == second.usage.calls
+
+    def test_retrieval_escalates_only_disagreements(self, restaurant_data):
+        result = _operator(restaurant_data).run(restaurant_data, strategy="retrieval")
+        assert 0 < result.llm_queries < len(restaurant_data.queries)
+        assert result.usage.calls == result.llm_queries
+
+    def test_retrieval_accuracy_matches_hybrid(self, restaurant_data):
+        """Grounded escalation must not cost accuracy vs the ungrounded hybrid."""
+        retrieval = _operator(restaurant_data).run(restaurant_data, strategy="retrieval")
+        hybrid = _operator(restaurant_data).run(restaurant_data, strategy="hybrid", n_examples=3)
+        truth = restaurant_data.ground_truth
+
+        def accuracy(predictions: dict[str, str]) -> float:
+            return sum(
+                1 for record_id, value in predictions.items() if value == truth[record_id]
+            ) / len(truth)
+
+        assert accuracy(retrieval.predictions) >= accuracy(hybrid.predictions) - 0.05
+
+    def test_generated_dataset_stays_deterministic(self):
+        data = generate_restaurant_dataset(60, seed=5)
+        first = _operator(data, seed=7).run(data, strategy="retrieval")
+        second = _operator(data, seed=7).run(data, strategy="retrieval")
+        assert first.predictions == second.predictions
