@@ -1,0 +1,109 @@
+"""Benchmark — span tracing must stay invisible next to real LLM latency.
+
+The tracker's contract (ISSUE 10) is that hierarchical tracing is cheap
+enough to leave on everywhere: on a workload whose unit of work is a
+model round-trip, enabling spans may cost at most 5% extra wall-clock.
+A fixed-sleep client stands in for network latency so the measurement is
+dominated by deterministic work, and min-of-repeats discards scheduler
+noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.engine import DeclarativeEngine
+from repro.core.session import PromptSession
+from repro.core.spec import PipelineSpec, PipelineStep, SortSpec
+from repro.data.flavors import CHOCOLATEY, FLAVORS, flavor_oracle
+from repro.llm.simulated import SimulatedLLM
+
+MODEL = "sim-gpt-3.5-turbo"
+CALL_DELAY_SECONDS = 0.005
+REPEATS = 5
+MAX_OVERHEAD = 1.05
+
+
+class FixedLatencyClient:
+    """Adds a deterministic per-request delay, like a (very fast) backend."""
+
+    def __init__(self, inner: SimulatedLLM, delay: float = CALL_DELAY_SECONDS) -> None:
+        self._inner = inner
+        self._delay = delay
+
+    def complete(self, prompt, *, model=None, temperature=0.0, max_tokens=None):
+        time.sleep(self._delay)
+        return self._inner.complete(
+            prompt, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+    def complete_batch(self, prompts, *, model=None, temperature=0.0, max_tokens=None):
+        time.sleep(self._delay * max(1, len(prompts)))
+        return self._inner.complete_batch(
+            prompts, model=model, temperature=temperature, max_tokens=max_tokens
+        )
+
+
+def _pipeline() -> PipelineSpec:
+    return PipelineSpec(
+        name="span-overhead",
+        steps=[
+            PipelineStep(
+                "left",
+                task=SortSpec(
+                    items=list(FLAVORS[:8]), criterion=CHOCOLATEY, strategy="rating"
+                ),
+            ),
+            PipelineStep(
+                "right",
+                task=SortSpec(
+                    items=list(FLAVORS[8:16]), criterion=CHOCOLATEY, strategy="rating"
+                ),
+            ),
+        ],
+    )
+
+
+def _run_once(*, spans_enabled: bool) -> float:
+    """One cold pipeline run; a fresh session per run keeps caches cold."""
+    session = PromptSession(
+        FixedLatencyClient(SimulatedLLM(flavor_oracle(), seed=21)),
+        use_cache=False,
+    )
+    session.spans.enabled = spans_enabled
+    engine = DeclarativeEngine(session=session, default_model=MODEL)
+    started = time.perf_counter()
+    report = engine.run_pipeline(_pipeline(), max_concurrency=2)
+    elapsed = time.perf_counter() - started
+    assert report.results["left"].order and report.results["right"].order
+    assert bool(report.spans) is spans_enabled
+    return elapsed
+
+
+def test_span_tracing_overhead_stays_under_five_percent():
+    # Warm both code paths before measuring, then interleave the repeats
+    # so drift (CPU frequency, other tests) hits both arms equally.
+    _run_once(spans_enabled=False)
+    _run_once(spans_enabled=True)
+    baseline: list[float] = []
+    traced: list[float] = []
+    for _ in range(REPEATS):
+        baseline.append(_run_once(spans_enabled=False))
+        traced.append(_run_once(spans_enabled=True))
+
+    best_baseline = min(baseline)
+    best_traced = min(traced)
+    ratio = best_traced / best_baseline
+    print_table(
+        "Span tracing overhead (min of repeats)",
+        ["variant", "best seconds", "ratio"],
+        [
+            ["spans off", f"{best_baseline:.4f}", "1.000"],
+            ["spans on", f"{best_traced:.4f}", f"{ratio:.3f}"],
+        ],
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"span tracing costs {(ratio - 1) * 100:.1f}% wall-clock "
+        f"(budget {(MAX_OVERHEAD - 1) * 100:.0f}%)"
+    )

@@ -1,0 +1,93 @@
+"""Hierarchical spans, the critical path, and operational metrics.
+
+Run with:  python examples/observed_pipeline.py
+
+Every pipeline run now produces a span tree — pipeline → wave → step →
+operator → call — collected by the session's
+:class:`~repro.obs.SpanTracker` and attached to the
+:class:`~repro.core.workflow.WorkflowReport`.  This example runs a
+two-branch DAG and then uses the observability layer three ways:
+
+1. **Waterfall** — ``render_timeline(report)`` draws the run as an
+   indented text waterfall, so you can *see* the branches overlapping.
+2. **Critical path** — ``critical_path(report.spans)`` extracts the
+   dominating chain of steps; its seconds feed
+   :class:`~repro.core.physical.RuntimeStats`, so the *next* quote's
+   ``total_seconds`` prices the DAG's wall-clock floor instead of the
+   serial sum.
+3. **Metrics** — the session's :class:`~repro.obs.MetricsRegistry`
+   accumulates operational counters (calls by cache outcome, spend,
+   latency histograms); ``registry.render()`` is exactly what the
+   service's unauthenticated ``GET /metrics`` endpoint serves.
+"""
+
+from __future__ import annotations
+
+from repro import DeclarativeEngine, SimulatedLLM, critical_path, render_timeline
+from repro.core.spec import PipelineSpec, PipelineStep, SortSpec
+from repro.data.flavors import CHOCOLATEY, FLAVORS, flavor_oracle
+from repro.obs.timeline import summarize_path
+
+MODEL = "sim-gpt-3.5-turbo"
+
+
+def two_branch_pipeline() -> PipelineSpec:
+    """Two independent sort branches feeding one merge step."""
+    return PipelineSpec(
+        name="observed-demo",
+        steps=[
+            PipelineStep(
+                "left",
+                task=SortSpec(items=list(FLAVORS[:8]), criterion=CHOCOLATEY, strategy="rating"),
+            ),
+            PipelineStep(
+                "right",
+                task=SortSpec(items=list(FLAVORS[8:16]), criterion=CHOCOLATEY, strategy="rating"),
+            ),
+            PipelineStep(
+                "merge",
+                run=lambda session, inputs: list(inputs["left"].order[:3])
+                + list(inputs["right"].order[:3]),
+                depends_on=("left", "right"),
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    engine = DeclarativeEngine(SimulatedLLM(flavor_oracle(), seed=7), default_model=MODEL)
+    report = engine.run_pipeline(two_branch_pipeline(), max_concurrency=4)
+    print("merged top flavors:", report.results["merge"])
+
+    # -- 1. the waterfall ------------------------------------------------------------
+    print(f"\nspan waterfall ({len(report.spans)} spans, root #{report.span_id}):")
+    print(render_timeline(report))
+
+    # -- 2. the critical path --------------------------------------------------------
+    path = critical_path(report.spans)
+    print(f"\n{summarize_path(path)}")
+    observed = engine.session.stats.critical_path_seconds("observed-demo")
+    print(f"recorded for future quotes: {observed:.3f}s")
+
+    # A second quote prices wall-clock from the DAG, not the step sum:
+    # the two branches overlap, so only the slower one counts.
+    quote = engine.quote_pipeline(two_branch_pipeline())
+    if quote.total_seconds is not None:
+        serial = sum(e.seconds or 0.0 for e in quote.steps.values())
+        print(f"next quote: ~{quote.total_seconds:.3f}s critical path (serial sum ~{serial:.3f}s)")
+
+    # -- 3. operational metrics ------------------------------------------------------
+    # The same exposition text the service serves at GET /metrics.
+    exposition = engine.session.metrics.render()
+    interesting = [
+        line
+        for line in exposition.splitlines()
+        if line.startswith(("repro_llm_calls_total", "repro_llm_cost_dollars_total"))
+    ]
+    print("\nmetrics excerpt:")
+    for line in interesting:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

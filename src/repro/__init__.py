@@ -49,6 +49,14 @@ from repro.core.spec_codec import (
     spec_to_dict,
 )
 from repro.core.workflow import Workflow
+from repro.obs import (
+    MetricsRegistry,
+    SessionInstruments,
+    Span,
+    SpanTracker,
+    critical_path,
+    render_timeline,
+)
 from repro.query import Dataset, LogicalPlan, QueryResult, compile_plan, optimize
 from repro.service import (
     ServiceApp,
@@ -110,6 +118,7 @@ __all__ = [
     "JobRecord",
     "JoinSpec",
     "LogicalPlan",
+    "MetricsRegistry",
     "Oracle",
     "PersistentResponseCache",
     "PhysicalPlanner",
@@ -124,7 +133,10 @@ __all__ = [
     "ResponseParseError",
     "ServiceApp",
     "ServiceClient",
+    "SessionInstruments",
     "SimulatedLLM",
+    "Span",
+    "SpanTracker",
     "SortOperator",
     "SortSpec",
     "SpecError",
@@ -141,12 +153,14 @@ __all__ = [
     "WorkloadProfile",
     "__version__",
     "compile_plan",
+    "critical_path",
     "fingerprint_spec",
     "optimize",
     "pipeline_from_dict",
     "pipeline_from_json",
     "pipeline_to_dict",
     "pipeline_to_json",
+    "render_timeline",
     "replay_trace",
     "spec_from_dict",
     "spec_to_dict",

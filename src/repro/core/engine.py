@@ -31,8 +31,9 @@ pending steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Mapping
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, ContextManager, Mapping
 
 from repro.core.budget import Budget, BudgetLease
 from repro.core.physical import PhysicalPlan, PhysicalPlanner, ResolvedStrategy
@@ -64,6 +65,7 @@ from repro.operators.join import JoinOperator, JoinResult
 from repro.operators.resolve import PairJudgmentResult, ResolveOperator, ResolveResult
 from repro.operators.sort import SortOperator, SortResult
 from repro.operators.top_k import TopKOperator, TopKResult
+from repro.obs import critical_path
 from repro.store.fingerprint import fingerprint_spec
 from repro.tokenizer.cost import Usage
 from repro.trace import trace_label
@@ -142,6 +144,18 @@ class DeclarativeEngine:
             spec, budget=budget if budget is not None else self.session.budget
         )
 
+    def _operator_span(self, label: str) -> "ContextManager[Any]":
+        """An ``operator`` span under whatever step span is ambient.
+
+        The label matches the tracer's ``operator=`` trace label
+        (``"<op>:<strategy>"``), so the span waterfall and the trace
+        records name the same work identically.
+        """
+        tracker = getattr(self.session, "spans", None)
+        if tracker is None or not tracker.enabled:
+            return nullcontext(None)
+        return tracker.span("operator", label)
+
     @property
     def stats(self):
         """The session's observed-execution statistics store."""
@@ -163,7 +177,8 @@ class DeclarativeEngine:
         operator = SortOperator(
             self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
         )
-        with trace_label(operator=f"sort:{resolved.strategy}"):
+        label = f"sort:{resolved.strategy}"
+        with trace_label(operator=label), self._operator_span(label):
             result = operator.run(
                 list(spec.items), strategy=resolved.strategy, **resolved.options
             )
@@ -185,8 +200,9 @@ class DeclarativeEngine:
         spec.validate()
         resolved = self._resolve(spec, budget)
         operator = ResolveOperator(self.session.client(budget), **self._operator_kwargs(budget))
+        label = f"resolve:{resolved.strategy}"
         if not spec.pairs:
-            with trace_label(operator=f"resolve:{resolved.strategy}"):
+            with trace_label(operator=label), self._operator_span(label):
                 result = operator.resolve(
                     list(spec.records), strategy=resolved.strategy, **resolved.options
                 )
@@ -196,7 +212,7 @@ class DeclarativeEngine:
             )
             return result
         options = dict(resolved.options)
-        with trace_label(operator=f"resolve:{resolved.strategy}"):
+        with trace_label(operator=label), self._operator_span(label):
             result = operator.judge_pairs(
                 list(spec.pairs),
                 strategy=resolved.strategy,
@@ -221,7 +237,8 @@ class DeclarativeEngine:
         assert spec.data is not None  # validate() guarantees this
         resolved = self._resolve(spec, budget)
         operator = ImputeOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        with trace_label(operator=f"impute:{resolved.strategy}"):
+        label = f"impute:{resolved.strategy}"
+        with trace_label(operator=label), self._operator_span(label):
             result = operator.run(
                 spec.data, strategy=resolved.strategy, n_examples=spec.n_examples
             )
@@ -264,7 +281,8 @@ class DeclarativeEngine:
             operator = FilterOperator(
                 self.session.client(budget), predicate, **self._operator_kwargs(budget)
             )
-            with trace_label(operator=f"filter:{resolved.strategy}"):
+            label = f"filter:{resolved.strategy}"
+            with trace_label(operator=label), self._operator_span(label):
                 result = operator.run(
                     survivors, strategy=resolved.strategy, **resolved.options
                 )
@@ -302,7 +320,8 @@ class DeclarativeEngine:
         operator = CategorizeOperator(
             self.session.client(budget), list(spec.categories), **self._operator_kwargs(budget)
         )
-        with trace_label(operator=f"categorize:{resolved.strategy}"):
+        label = f"categorize:{resolved.strategy}"
+        with trace_label(operator=label), self._operator_span(label):
             result = operator.run(
                 list(spec.items), strategy=resolved.strategy, **resolved.options
             )
@@ -320,7 +339,8 @@ class DeclarativeEngine:
         operator = TopKOperator(
             self.session.client(budget), spec.criterion, **self._operator_kwargs(budget)
         )
-        with trace_label(operator=f"top_k:{resolved.strategy}"):
+        label = f"top_k:{resolved.strategy}"
+        with trace_label(operator=label), self._operator_span(label):
             result = operator.run(
                 list(spec.items), k=spec.k, strategy=resolved.strategy, **resolved.options
             )
@@ -336,7 +356,8 @@ class DeclarativeEngine:
         spec.validate()
         resolved = self._resolve(spec, budget)
         operator = JoinOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        with trace_label(operator=f"join:{resolved.strategy}"):
+        label = f"join:{resolved.strategy}"
+        with trace_label(operator=label), self._operator_span(label):
             result = operator.run(
                 list(spec.left), list(spec.right), strategy=resolved.strategy, **resolved.options
             )
@@ -356,7 +377,8 @@ class DeclarativeEngine:
         spec.validate()
         resolved = self._resolve(spec, budget)
         operator = ClusterOperator(self.session.client(budget), **self._operator_kwargs(budget))
-        with trace_label(operator=f"cluster:{resolved.strategy}"):
+        label = f"cluster:{resolved.strategy}"
+        with trace_label(operator=label), self._operator_span(label):
             result = operator.run(
                 list(spec.items), strategy=resolved.strategy, **resolved.options
             )
@@ -401,8 +423,29 @@ class DeclarativeEngine:
         return self.physical.plan_pipeline(pipeline)
 
     def quote_pipeline(self, pipeline: PipelineSpec) -> PipelineQuote:
-        """Pre-flight quote for a pipeline: per-step estimates plus totals."""
-        return self.planner().quote_pipeline(pipeline)
+        """Pre-flight quote for a pipeline: per-step estimates plus totals.
+
+        A quote priced from observed statistics is only as good as the
+        observations that reached the store, so a session whose trace ring
+        dropped records before flushing carries a warning note on every
+        subsequent quote.
+        """
+        quote = self.planner().quote_pipeline(pipeline)
+        note = self._dropped_records_note()
+        if note is not None:
+            quote = replace(quote, notes=quote.notes + (note,))
+        return quote
+
+    def _dropped_records_note(self) -> str | None:
+        """A warning when the session's trace ring has evicted records."""
+        dropped = getattr(getattr(self.session, "tracer", None), "dropped", 0)
+        if not dropped:
+            return None
+        return (
+            f"trace ring dropped {dropped} record(s) before flushing; "
+            "observed statistics may undercount (raise the tracer capacity "
+            "or flush more often)"
+        )
 
     def run_pipeline(
         self,
@@ -558,10 +601,38 @@ class DeclarativeEngine:
     ) -> WorkflowReport:
         for name in prep.restored:
             report.step_reports[name].restored = True
+        self._absorb_observability(report, prep)
         # Persist the (possibly newly grown) observations so the next
         # session warm-starts its quotes from this run.
         self._save_profile(prep.store)
         return report
+
+    def _absorb_observability(
+        self, report: WorkflowReport, prep: "_PipelinePrep"
+    ) -> None:
+        """Collect the run's span subtree and feed the critical path back.
+
+        The subtree rides the report (runtime-only, for
+        :func:`repro.obs.render_timeline`) and its critical-path seconds —
+        the wall-clock of the longest dependent step chain, which is what
+        a concurrent run actually took — are recorded into the session's
+        :class:`~repro.core.physical.RuntimeStats` under the pipeline's
+        name.  Trace-ring drops surface as an advisory note.
+        """
+        tracker = getattr(self.session, "spans", None)
+        if tracker is not None and report.span_id is not None:
+            report.spans = tracker.subtree(report.span_id)
+            path = critical_path(report.spans)
+            if path.seconds > 0:
+                self.stats.record_critical_path(prep.workflow.name, path.seconds)
+            # Best effort: spans are diagnostics, never a run failure.
+            try:
+                tracker.flush()
+            except Exception:
+                pass
+        note = self._dropped_records_note()
+        if note is not None and note not in report.notes:
+            report.notes.append(note)
 
     def _save_profile(self, store: "Store | None") -> None:
         """Save the session's stats to ``store``, history-preserving.

@@ -105,6 +105,23 @@ class _BudgetPreCheckStop(Exception):
         self.error = error
 
 
+class _QueueDepth:
+    """Context manager bumping the executor queue-depth gauge for one batch."""
+
+    def __init__(self, instruments: Any | None, count: int) -> None:
+        self._instruments = instruments
+        self._count = count
+
+    def __enter__(self) -> "_QueueDepth":
+        if self._instruments is not None:
+            self._instruments.note_enqueued(self._count)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._instruments is not None:
+            self._instruments.note_dequeued(self._count)
+
+
 class BatchExecutor:
     """Dispatch a list of independent unit tasks against one LLM client.
 
@@ -123,6 +140,9 @@ class BatchExecutor:
             (see :class:`~repro.llm.retry.RetryingClient`).
         max_retries: additional attempts per unit task when a validator is set.
         retry_temperature: temperature used for those retry attempts.
+        instruments: optional :class:`~repro.obs.SessionInstruments`; when
+            set, the executor keeps the queue-depth and in-flight gauges
+            current (sessions pass their own automatically).
     """
 
     def __init__(
@@ -135,12 +155,14 @@ class BatchExecutor:
         validator: Callable[[str], Any] | None = None,
         max_retries: int = 2,
         retry_temperature: float = 0.7,
+        instruments: Any | None = None,
     ) -> None:
         if max_concurrency < 1:
             raise ConfigurationError("max_concurrency must be at least 1")
         self.max_concurrency = max_concurrency
         self.budget = budget
         self.governor = governor
+        self.instruments = instruments
         if validator is not None:
             client = RetryingClient(
                 client,
@@ -168,9 +190,10 @@ class BatchExecutor:
         ]
         if not normalized:
             return []
-        if self.max_concurrency == 1 or len(normalized) == 1:
-            return self._run_sequential(normalized)
-        return self._run_concurrent(normalized)
+        with self._queued(len(normalized)):
+            if self.max_concurrency == 1 or len(normalized) == 1:
+                return self._run_sequential(normalized)
+            return self._run_concurrent(normalized)
 
     def map(self, tasks: Sequence[Callable[[], Any]]) -> list[TaskOutcome]:
         """Run independent no-argument callables; outcomes in input order.
@@ -195,6 +218,12 @@ class BatchExecutor:
         outcomes = [TaskOutcome(skipped=True) for _ in task_list]
         if not task_list:
             return outcomes
+        with self._queued(len(task_list)):
+            return self._map(task_list, outcomes)
+
+    def _map(
+        self, task_list: list[Callable[[], Any]], outcomes: list[TaskOutcome]
+    ) -> list[TaskOutcome]:
         if self.max_concurrency == 1 or len(task_list) == 1:
             for index, task in enumerate(task_list):
                 try:
@@ -253,6 +282,10 @@ class BatchExecutor:
 
     # -- internals ----------------------------------------------------------------
 
+    def _queued(self, count: int):
+        """Keep the queue-depth gauge current over one batch dispatch."""
+        return _QueueDepth(self.instruments, count)
+
     def _check_budget(self) -> None:
         budget = self.budget
         if budget is not None and not budget.unlimited and budget.remaining <= 0.0:
@@ -260,6 +293,15 @@ class BatchExecutor:
 
     def _complete_one(self, request: BatchRequest) -> LLMResponse:
         self._check_budget()
+        if self.instruments is not None:
+            self.instruments.note_task_started()
+        try:
+            return self._dispatch_one(request)
+        finally:
+            if self.instruments is not None:
+                self.instruments.note_task_done()
+
+    def _dispatch_one(self, request: BatchRequest) -> LLMResponse:
         if self.governor is None:
             return self._client.complete(
                 request.prompt,
@@ -401,6 +443,8 @@ class AsyncBatchExecutor:
         validator: optional response-text validator enabling per-call retries.
         max_retries: additional attempts per unit task when a validator is set.
         retry_temperature: temperature used for those retry attempts.
+        instruments: optional :class:`~repro.obs.SessionInstruments` keeping
+            the queue-depth and in-flight gauges current.
     """
 
     def __init__(
@@ -413,12 +457,14 @@ class AsyncBatchExecutor:
         validator: Callable[[str], Any] | None = None,
         max_retries: int = 2,
         retry_temperature: float = 0.7,
+        instruments: Any | None = None,
     ) -> None:
         if max_concurrency < 1:
             raise ConfigurationError("max_concurrency must be at least 1")
         self.max_concurrency = max_concurrency
         self.budget = budget
         self.governor = governor
+        self.instruments = instruments
         if validator is not None:
             client = RetryingClient(
                 client,
@@ -450,9 +496,10 @@ class AsyncBatchExecutor:
         ]
         if not normalized:
             return []
-        if self.max_concurrency == 1 or len(normalized) == 1:
-            return await self._run_sequential(normalized)
-        return await self._run_concurrent(normalized)
+        with _QueueDepth(self.instruments, len(normalized)):
+            if self.max_concurrency == 1 or len(normalized) == 1:
+                return await self._run_sequential(normalized)
+            return await self._run_concurrent(normalized)
 
     async def map(
         self, tasks: Sequence[Callable[[], Any] | Callable[[], Awaitable[Any]]]
@@ -497,9 +544,13 @@ class AsyncBatchExecutor:
                     return
                 outcomes[index] = TaskOutcome(value=value)
 
-        await asyncio.gather(
-            *(asyncio.create_task(worker(index, task)) for index, task in enumerate(task_list))
-        )
+        with _QueueDepth(self.instruments, len(task_list)):
+            await asyncio.gather(
+                *(
+                    asyncio.create_task(worker(index, task))
+                    for index, task in enumerate(task_list)
+                )
+            )
         if budget_stop is not None:
             _attach_budget_stop(outcomes, budget_stop)
         return outcomes
@@ -513,6 +564,15 @@ class AsyncBatchExecutor:
 
     async def _complete_one(self, request: BatchRequest) -> LLMResponse:
         self._check_budget()
+        if self.instruments is not None:
+            self.instruments.note_task_started()
+        try:
+            return await self._dispatch_one(request)
+        finally:
+            if self.instruments is not None:
+                self.instruments.note_task_done()
+
+    async def _dispatch_one(self, request: BatchRequest) -> LLMResponse:
         if self.governor is None:
             return await call_acomplete(
                 self._client,

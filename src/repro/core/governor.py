@@ -183,6 +183,7 @@ class ConcurrencyGovernor:
         self.backoff_multiplier = backoff_multiplier
         self.backoff_max = backoff_max
         self.stats = GovernorStats()
+        self._instruments = None
         self._clock = clock
         self._sleep = sleep
         self._lock = threading.Lock()
@@ -236,6 +237,17 @@ class ConcurrencyGovernor:
 
     # -- feedback -----------------------------------------------------------------
 
+    def bind_instruments(self, instruments) -> None:
+        """Mirror admission counters into a metrics registry.
+
+        Sessions call this with their :class:`~repro.obs.SessionInstruments`
+        so the governor's admissions/waits/rate-limit events show up in
+        ``GET /metrics`` under that session's tenant label.  Only one
+        binding is kept (latest wins) — a governor is owned by one tenant
+        in the service topology.
+        """
+        self._instruments = instruments
+
     def record_success(self) -> None:
         """A dispatch completed normally: reset the failure streak."""
         with self._lock:
@@ -259,7 +271,9 @@ class ConcurrencyGovernor:
             delay = max(delay, retry_after)
             self._cooldown_until = max(self._cooldown_until, self._clock() + delay)
             self.stats.rate_limit_events += 1
-            return delay
+        if self._instruments is not None:
+            self._instruments.note_rate_limit()
+        return delay
 
     def stats_snapshot(self) -> GovernorStats:
         """A lock-consistent copy of the admission counters.
@@ -331,12 +345,18 @@ class ConcurrencyGovernor:
                 self.stats.wait_seconds += wait
             self._in_flight += 1
             self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
+            in_flight = self._in_flight
+        if self._instruments is not None:
+            self._instruments.note_admission(wait, in_flight)
 
     def _release_slot(self) -> None:
         with self._lock:
             self._in_flight -= 1
+            in_flight = self._in_flight
         if self._slots is not None:
             self._slots.release()
+        if self._instruments is not None:
+            self._instruments.note_release(in_flight)
 
 
 def is_rate_limit(error: BaseException) -> bool:

@@ -116,6 +116,9 @@ class RuntimeStats:
         # Session-global cache hits over requests, also fed per traced call;
         # the planner discounts dollar quotes by the observed hit rate.
         self._cache = _Ratio()
+        # Per-pipeline critical-path wall-clock seconds (mean over runs),
+        # fed by the engine's span tree after each pipeline execution.
+        self._critical_path: dict[str, _Ratio] = {}
 
     # -- recorders -------------------------------------------------------------------
 
@@ -197,6 +200,21 @@ class RuntimeStats:
             samples.append(float(duration_ms))
             if len(samples) > self.LATENCY_SAMPLE_CAP:
                 del samples[: len(samples) - self.LATENCY_SAMPLE_CAP]
+
+    def record_critical_path(self, pipeline: str, seconds: float) -> None:
+        """Record one pipeline run's observed critical-path wall-clock.
+
+        The engine measures the longest dependent chain of step spans after
+        each run (see :func:`repro.obs.critical_path`), which is the
+        wall-clock a concurrency-aware quote should predict — independent
+        branches overlap, so the sum of step durations overstates reality.
+        """
+        if seconds < 0:
+            return
+        with self._lock:
+            ratio = self._critical_path.setdefault(pipeline, _Ratio())
+            ratio.numerator += seconds
+            ratio.denominator += 1
 
     def record_cache(self, *, hit: bool, requests: int = 1) -> None:
         """Record cacheable session traffic: ``requests`` calls, hit or missed."""
@@ -293,6 +311,12 @@ class RuntimeStats:
         with self._lock:
             return self._cache.value
 
+    def critical_path_seconds(self, pipeline: str) -> float | None:
+        """Mean observed critical-path seconds of a pipeline, or ``None``."""
+        with self._lock:
+            ratio = self._critical_path.get(pipeline)
+            return ratio.value if ratio is not None else None
+
     @property
     def empty(self) -> bool:
         """Whether nothing has been recorded yet."""
@@ -308,6 +332,7 @@ class RuntimeStats:
                 or self._blocked_pairs.denominator
                 or self._probe_candidates.denominator
                 or self._cache.denominator
+                or self._critical_path
             )
 
     def snapshot(self) -> dict[str, Any]:
@@ -327,6 +352,10 @@ class RuntimeStats:
                     label: int(round(count)) for label, count in self._call_counts.items()
                 },
                 "cache_hit_rate": self._cache.value,
+                "critical_path_seconds": {
+                    pipeline: ratio.value
+                    for pipeline, ratio in self._critical_path.items()
+                },
                 "latency_samples": {
                     label: len(samples) for label, samples in self._latency.items()
                 },
@@ -358,6 +387,9 @@ class RuntimeStats:
                 "call_counts": dict(self._call_counts),
                 "runs": dict(self._runs),
                 "cache": pair(self._cache),
+                "critical_path": {
+                    pipeline: pair(r) for pipeline, r in self._critical_path.items()
+                },
                 "latency": {label: list(samples) for label, samples in self._latency.items()},
             }
 
@@ -395,6 +427,8 @@ class RuntimeStats:
             for label, count in dict(state.get("runs", {})).items():
                 self._runs[label] = self._runs.get(label, 0.0) + float(count) * weight
             add(self._cache, state.get("cache", (0, 0)))
+            for pipeline, pair in dict(state.get("critical_path", {})).items():
+                add(self._critical_path.setdefault(pipeline, _Ratio()), pair)
             # Latency samples have no numerator/denominator to scale, so
             # decay keeps a weight-sized share of the *most recent* saved
             # samples — history fades by shrinking its sample mass, and the

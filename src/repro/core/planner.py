@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.spec import (
@@ -145,6 +145,10 @@ class PipelineQuote:
     #: Pricing annotations (e.g. the observed cache hit-rate discount), in
     #: the same "prior -> observed" style the per-step selectivity notes use.
     notes: tuple[str, ...] = ()
+    #: Step name → upstream step names, as declared by the pipeline spec.
+    #: When present, :attr:`total_seconds` is the critical path over this
+    #: DAG rather than the sum — independent branches overlap in time.
+    dependencies: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
 
     @property
     def total_calls(self) -> int:
@@ -168,16 +172,53 @@ class PipelineQuote:
     def total_seconds(self) -> float | None:
         """Predicted wall-clock total over the steps that carry one.
 
+        With a :attr:`dependencies` DAG, this is the *critical path*: the
+        most expensive chain of dependent steps, because independent
+        branches run concurrently and only the longest one shows up on
+        the wall clock.  Without dependency information it falls back to
+        the sum of per-step estimates (sequential execution).
+
         ``None`` when no step has a latency-backed estimate yet.  Steps
         without observed latency contribute nothing — a partial total is
         a lower bound, which the renderers flag with a ``>=``.
         """
-        timed = [
-            estimate.seconds
-            for estimate in self.steps.values()
+        timed = {
+            name: estimate.seconds
+            for name, estimate in self.steps.items()
             if estimate.seconds is not None
-        ]
-        return sum(timed) if timed else None
+        }
+        if not timed:
+            return None
+        if not self.dependencies:
+            return sum(timed.values())
+        return self._critical_path_seconds(timed)
+
+    def _critical_path_seconds(self, timed: Mapping[str, float]) -> float:
+        """Longest weighted finish time over the dependency DAG.
+
+        Untimed and unquoted steps weigh zero but still propagate their
+        upstream chain's finish time.  A cycle (impossible for a
+        validated spec, possible for a hand-built mapping) degrades to
+        treating the offending edge as absent rather than recursing
+        forever.
+        """
+        finish: dict[str, float] = {}
+        names = set(self.steps) | set(self.dependencies)
+
+        def finish_time(name: str, active: frozenset[str]) -> float:
+            if name in finish:
+                return finish[name]
+            if name in active:
+                return 0.0  # cycle guard
+            upstream = self.dependencies.get(name, ())
+            start = max(
+                (finish_time(dep, active | {name}) for dep in upstream),
+                default=0.0,
+            )
+            finish[name] = start + timed.get(name, 0.0)
+            return finish[name]
+
+        return max(finish_time(name, frozenset()) for name in names)
 
     def to_dict(self) -> dict[str, object]:
         """A JSON-shaped view: per-step estimates, notes, and the totals.
@@ -192,6 +233,9 @@ class PipelineQuote:
             "steps": {name: estimate.to_dict() for name, estimate in self.steps.items()},
             "unquoted": list(self.unquoted),
             "notes": list(self.notes),
+            "dependencies": {
+                name: list(upstream) for name, upstream in self.dependencies.items()
+            },
             "total_calls": self.total_calls,
             "total_dollars": self.total_dollars,
             "total_seconds": self.total_seconds,
@@ -207,6 +251,9 @@ class PipelineQuote:
         steps = data.get("steps") or {}
         if not isinstance(steps, Mapping):
             raise SpecError("pipeline quote steps must be an object")
+        dependencies = data.get("dependencies") or {}
+        if not isinstance(dependencies, Mapping):
+            raise SpecError("pipeline quote dependencies must be an object")
         return cls(
             pipeline=str(data.get("pipeline", "pipeline")),
             steps={
@@ -215,6 +262,10 @@ class PipelineQuote:
             },
             unquoted=tuple(str(name) for name in data.get("unquoted", ())),  # type: ignore[union-attr]
             notes=tuple(str(note) for note in data.get("notes", ())),  # type: ignore[union-attr]
+            dependencies={
+                str(name): tuple(str(dep) for dep in upstream)
+                for name, upstream in dependencies.items()
+            },
         )
 
 
@@ -888,18 +939,23 @@ class CostPlanner:
         """Quote a whole pipeline before running it.
 
         Every step whose spec is statically known is estimated through
-        :meth:`estimate_spec`; the quote's totals are by construction the
-        sums of those per-step estimates.  Pure-python steps and spec
-        factories (whose inputs only exist once upstream steps have run)
-        are listed in :attr:`PipelineQuote.unquoted` rather than silently
-        priced at zero.
+        :meth:`estimate_spec`; the quote's call/token/dollar totals are by
+        construction the sums of those per-step estimates, while
+        ``total_seconds`` follows the pipeline's dependency DAG — steps
+        without an edge between them overlap in time, so the wall-clock
+        quote is the critical path, not the sum.  Pure-python steps and
+        spec factories (whose inputs only exist once upstream steps have
+        run) are listed in :attr:`PipelineQuote.unquoted` rather than
+        silently priced at zero.
         """
         pipeline.validate()
         steps: dict[str, CostEstimate] = {}
         unquoted: list[str] = []
+        dependencies: dict[str, tuple[str, ...]] = {}
         known_hits = 0
         known_probed = 0
         for step in pipeline.steps:
+            dependencies[step.name] = tuple(step.depends_on)
             if isinstance(step.task, TaskSpec):
                 steps[step.name] = self.estimate_spec(step.task)
                 hits, probed = self.known_cached_calls(step.task)
@@ -921,6 +977,7 @@ class CostPlanner:
             steps=steps,
             unquoted=tuple(unquoted),
             notes=tuple(notes),
+            dependencies=dependencies,
         )
 
     # -- queries --------------------------------------------------------------------

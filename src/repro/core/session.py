@@ -35,6 +35,7 @@ from repro.llm.base import (
 from repro.llm.cache import CachedClient, ResponseCache, ResponseCacheLike
 from repro.llm.registry import ModelRegistry, default_registry
 from repro.llm.tracker import UsageTracker
+from repro.obs import MetricsRegistry, SessionInstruments, SpanTracker
 from repro.tokenizer.cost import CostModel
 from repro.trace import Tracer
 
@@ -148,6 +149,12 @@ class PromptSession:
             the previous run's observations.
         profile_decay: weight applied to the loaded profile's observation
             counts (see :mod:`repro.store.profile`).
+        metrics: optional shared :class:`~repro.obs.MetricsRegistry`; the
+            multi-tenant service hands every tenant's session the same one
+            so ``GET /metrics`` scrapes a single registry.  Defaults to a
+            private registry per session.
+        tenant_label: value of the ``tenant`` label on every metric series
+            this session emits (empty for standalone sessions).
     """
 
     def __init__(
@@ -162,6 +169,8 @@ class PromptSession:
         governor: ConcurrencyGovernor | None = None,
         store: "Store | None" = None,
         profile_decay: float = 0.5,
+        metrics: MetricsRegistry | None = None,
+        tenant_label: str = "",
     ) -> None:
         self.registry = registry or default_registry()
         self.budget = budget or Budget()
@@ -183,9 +192,17 @@ class PromptSession:
         self.stats = RuntimeStats()
         if store is not None:
             store.apply_profile(self.stats, decay=profile_decay)
+        # Operational observability: one metric registry (possibly shared
+        # across tenants), its per-tenant bound instruments, and the span
+        # tree every pipeline/step/call of this session hangs off.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.instruments = SessionInstruments(self.metrics, tenant=tenant_label)
+        self.spans = SpanTracker(store=store)
+        if governor is not None:
+            governor.bind_instruments(self.instruments)
         # One structured TraceRecord per call issued through this session;
         # flushed best-effort into the store's traces table when one exists.
-        self.tracer = Tracer(store=store)
+        self.tracer = Tracer(store=store, on_drop=self.instruments.note_trace_dropped)
         self._client: LLMClient = CachedClient(client, self.cache) if use_cache else client
         self._raw_client = client
 
@@ -275,6 +292,7 @@ class PromptSession:
         self._trace_response(prompt, temperature, response, cost, duration_ms)
         if priced:
             target.charge(cost)
+        self.instruments.note_budget_spent(self.budget.spent)
         return response
 
     def complete_batch(
@@ -374,6 +392,7 @@ class PromptSession:
                     target.charge(cost)
                 except BudgetExceededError as exc:
                     charge_error = charge_error or exc
+        self.instruments.note_budget_spent(self.budget.spent)
         if charge_error is not None:
             raise charge_error
         return responses
@@ -390,6 +409,15 @@ class PromptSession:
     ) -> None:
         """Record one completed call: trace record plus runtime-stats feed."""
         cache_hit = bool(response.metadata.get("cache_hit"))
+        # The call span is created first so the trace record can carry its
+        # id; the duration is known post-hoc, so the span is backdated.
+        span = self.spans.record_span(
+            "call",
+            response.model,
+            duration_seconds=duration_ms / 1000.0,
+            cache_hit=cache_hit,
+            cost=cost,
+        )
         record = self.tracer.record(
             model=response.model,
             temperature=temperature,
@@ -402,9 +430,13 @@ class PromptSession:
             cache_hit=cache_hit,
             finish_reason=response.finish_reason,
             confidence=response.confidence,
+            span_id=None if span is None else span.span_id,
         )
         # Retry wrappers annotate attempt index / parse outcome by this id.
         response.metadata["trace_call_id"] = record.call_id
+        if span is not None:
+            self.spans.annotate(span.span_id, call_id=record.call_id)
+        self.instruments.note_call(cache_hit=cache_hit, cost=cost, duration_ms=duration_ms)
         self.stats.record_cache(hit=cache_hit)
         if record.operator:
             self.stats.record_latency(record.operator, duration_ms)
@@ -418,13 +450,22 @@ class PromptSession:
         error: BaseException,
     ) -> None:
         """Record a call that raised (exception class from the taxonomy)."""
+        span = self.spans.record_span(
+            "call",
+            model,
+            duration_seconds=duration_ms / 1000.0,
+            status="error",
+            error=type(error).__name__,
+        )
         record = self.tracer.record(
             model=model,
             temperature=temperature,
             prompt=prompt,
             duration_ms=duration_ms,
             error=type(error).__name__,
+            span_id=None if span is None else span.span_id,
         )
+        self.instruments.note_call_error(type(error).__name__)
         if record.operator:
             self.stats.record_latency(record.operator, duration_ms)
 
@@ -460,6 +501,7 @@ class PromptSession:
             ),
             budget=budget,
             governor=self.governor,
+            instruments=self.instruments,
         )
 
     def async_batch_executor(
@@ -481,6 +523,7 @@ class PromptSession:
             ),
             budget=budget,
             governor=self.governor,
+            instruments=self.instruments,
         )
 
     @property
@@ -510,6 +553,7 @@ class PromptSession:
         # the session's own store is replaced exactly.
         target.save_profile(self.stats, name=name, merge=target is not self.store)
         self.tracer.flush()
+        self.spans.flush()
 
 
 class BudgetScopedSession:

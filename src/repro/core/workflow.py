@@ -44,8 +44,9 @@ element-wise identical to the linear chain (the equivalence suite in
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, ContextManager, Mapping
 
 from repro.core.budget import BudgetLease
 from repro.core.dag import topological_waves, transitive_dependencies
@@ -104,6 +105,9 @@ class StepReport:
         restored: the result was served from a checkpoint store — this run
             made no LLM calls for the step (the report's ``total_*`` deltas
             already reflect that).
+        span_id: id of the step's span in the session's span tree (None when
+            the step never dispatched or span tracing is disabled); streamed
+            in SSE step events so clients can join events to spans/traces.
     """
 
     name: str
@@ -113,6 +117,7 @@ class StepReport:
     allocation: float | None = None
     description: str = ""
     restored: bool = False
+    span_id: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-shaped view (what the service's job endpoints return)."""
@@ -124,11 +129,13 @@ class StepReport:
             "allocation": self.allocation,
             "description": self.description,
             "restored": self.restored,
+            "span_id": self.span_id,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StepReport":
         allocation = data.get("allocation")
+        span_id = data.get("span_id")
         return cls(
             name=str(data.get("name", "")),
             status=str(data.get("status", "skipped")),
@@ -137,6 +144,7 @@ class StepReport:
             allocation=None if allocation is None else float(allocation),
             description=str(data.get("description", "")),
             restored=bool(data.get("restored", False)),
+            span_id=None if span_id is None else int(span_id),
         )
 
 
@@ -160,6 +168,16 @@ class WorkflowReport:
     stopped_early: bool = False
     stop_reason: str = ""
     quote: "PipelineQuote | None" = None
+    #: Root span id of this run's pipeline span (None when untraced).
+    span_id: int | None = None
+    #: Operational warnings (trace-ring drops, partial observability) —
+    #: advisory, never a failure.
+    notes: list[str] = field(default_factory=list)
+    #: The run's span subtree (pipeline→wave→step→call), collected by the
+    #: engine after the run for `render_timeline(report)`.  Runtime-only:
+    #: excluded from serialization and equality (persisted spans live in the
+    #: store's `spans` table instead).
+    spans: list = field(default_factory=list, compare=False, repr=False)
 
     @property
     def completed_steps(self) -> list[str]:
@@ -218,6 +236,8 @@ class WorkflowReport:
             "stopped_early": self.stopped_early,
             "stop_reason": self.stop_reason,
             "quote": None if self.quote is None else self.quote.to_dict(),
+            "span_id": self.span_id,
+            "notes": list(self.notes),
         }
 
     @classmethod
@@ -247,6 +267,10 @@ class WorkflowReport:
             stopped_early=bool(data.get("stopped_early", False)),
             stop_reason=str(data.get("stop_reason", "")),
             quote=None if quote_data is None else PipelineQuote.from_dict(quote_data),
+            span_id=(
+                None if data.get("span_id") is None else int(data["span_id"])
+            ),
+            notes=[str(note) for note in data.get("notes", ())],
         )
 
 
@@ -385,20 +409,31 @@ class Workflow:
         executor = session.batch_executor(
             max_concurrency=max_concurrency, budget=state.budget
         )
-        while state.pending:
-            planned = self._plan_round(state, session, spec_runner, quote)
-            if planned is None:
-                break
-            runnable, thunks, leases = planned
-            outcomes = executor.map(thunks)
-            progressed, failure = self._absorb_outcomes(
-                state, runnable, outcomes, leases, on_step
-            )
-            if failure is not None:
-                self._finalize(state.report, session, state.usage_before, state.cost_before)
-                raise failure
-            if not progressed:
-                break  # defensive: nothing completed or stopped this round
+        with self._pipeline_span(state) as pipeline_span:
+            if pipeline_span is not None:
+                state.report.span_id = pipeline_span.span_id
+            round_index = 0
+            while state.pending:
+                planned = self._plan_round(state, session, spec_runner, quote)
+                if planned is None:
+                    break
+                runnable, thunks, leases = planned
+                # The wave span is ambient while the executor submits the
+                # thunks (each submission copies the current context), so
+                # step spans opened inside worker threads parent correctly.
+                with self._wave_span(state, round_index, runnable):
+                    outcomes = executor.map(thunks)
+                round_index += 1
+                progressed, failure = self._absorb_outcomes(
+                    state, runnable, outcomes, leases, on_step
+                )
+                if failure is not None:
+                    self._finalize(
+                        state.report, session, state.usage_before, state.cost_before
+                    )
+                    raise failure
+                if not progressed:
+                    break  # defensive: nothing completed or stopped this round
         self._finalize(state.report, session, state.usage_before, state.cost_before)
         return state.report
 
@@ -427,24 +462,50 @@ class Workflow:
         executor = session.async_batch_executor(
             max_concurrency=max_concurrency, budget=state.budget
         )
-        while state.pending:
-            planned = self._plan_round(state, session, spec_runner, quote)
-            if planned is None:
-                break
-            runnable, thunks, leases = planned
-            outcomes = await executor.map(thunks)
-            progressed, failure = self._absorb_outcomes(
-                state, runnable, outcomes, leases, on_step
-            )
-            if failure is not None:
-                self._finalize(state.report, session, state.usage_before, state.cost_before)
-                raise failure
-            if not progressed:
-                break  # defensive: nothing completed or stopped this round
+        with self._pipeline_span(state) as pipeline_span:
+            if pipeline_span is not None:
+                state.report.span_id = pipeline_span.span_id
+            round_index = 0
+            while state.pending:
+                planned = self._plan_round(state, session, spec_runner, quote)
+                if planned is None:
+                    break
+                runnable, thunks, leases = planned
+                # asyncio tasks copy the ambient context at creation, so the
+                # wave span parents step spans exactly like the thread path.
+                with self._wave_span(state, round_index, runnable):
+                    outcomes = await executor.map(thunks)
+                round_index += 1
+                progressed, failure = self._absorb_outcomes(
+                    state, runnable, outcomes, leases, on_step
+                )
+                if failure is not None:
+                    self._finalize(
+                        state.report, session, state.usage_before, state.cost_before
+                    )
+                    raise failure
+                if not progressed:
+                    break  # defensive: nothing completed or stopped this round
         self._finalize(state.report, session, state.usage_before, state.cost_before)
         return state.report
 
     # -- internals ---------------------------------------------------------------
+
+    def _pipeline_span(self, state: "_ExecutionState") -> ContextManager[Any]:
+        """The run's root span, or a null context when tracing is off."""
+        tracker = state.spans
+        if tracker is None or not getattr(tracker, "enabled", False):
+            return nullcontext(None)
+        return tracker.span("pipeline", self.name, steps=len(self._steps))
+
+    @staticmethod
+    def _wave_span(
+        state: "_ExecutionState", round_index: int, runnable: list[str]
+    ) -> ContextManager[Any]:
+        tracker = state.spans
+        if tracker is None or not getattr(tracker, "enabled", False):
+            return nullcontext(None)
+        return tracker.span("wave", f"wave {round_index}", steps=list(runnable))
 
     def _prepare_execution(
         self,
@@ -488,6 +549,10 @@ class Workflow:
             # Report this run's usage, not session-lifetime totals.
             usage_before=session.tracker.usage,
             cost_before=session.tracker.cost(),
+            # getattr: any session-like object works; only real sessions
+            # carry the observability surface.
+            spans=getattr(session, "spans", None),
+            instruments=getattr(session, "instruments", None),
         )
 
     def _plan_round(
@@ -543,7 +608,9 @@ class Workflow:
             allocation = allocations.get(name)
             report.step_reports[name].allocation = allocation
             thunks.append(
-                self._make_thunk(step, session, inputs, budget, allocation, spec_runner, leases)
+                self._make_thunk(
+                    step, session, inputs, budget, allocation, spec_runner, leases, state
+                )
             )
         return runnable, thunks, leases
 
@@ -562,6 +629,8 @@ class Workflow:
         settled: list[StepReport] = []
         for name, outcome in zip(runnable, outcomes):
             step_report = report.step_reports[name]
+            if not outcome.skipped:
+                step_report.span_id = state.step_spans.get(name)
             if outcome.ok:
                 step_report.status = "completed"
                 report.results[name] = outcome.value
@@ -600,9 +669,16 @@ class Workflow:
             for step_report in settled:
                 try:
                     on_step(step_report)
-                except Exception:
-                    # An observer must never sink the run it is watching.
-                    pass
+                except Exception as exc:
+                    # An observer must never sink the run it is watching —
+                    # but it must not fail silently either: count it and
+                    # pin the error class on the step's span.
+                    if state.instruments is not None:
+                        state.instruments.note_observer_error()
+                    if state.spans is not None and step_report.span_id is not None:
+                        state.spans.annotate(
+                            step_report.span_id, observer_error=type(exc).__name__
+                        )
         return progressed, failure
 
     @staticmethod
@@ -614,31 +690,54 @@ class Workflow:
         allocation: float | None,
         spec_runner: SpecRunner | None,
         leases: dict[str, BudgetLease],
+        state: "_ExecutionState",
     ) -> Callable[[], Any]:
+        inner: Callable[[], Any]
         if step.task is not None:
             assert spec_runner is not None  # checked before scheduling
             if allocation is None:
-                return lambda: spec_runner(step, inputs, None)
+                inner = lambda: spec_runner(step, inputs, None)  # noqa: E731
+            else:
+                # The lease is taken when the step *starts*, not when the
+                # wave is built, and the engine charges the step's calls
+                # through it — so it measures exactly this step's spending,
+                # sequential or concurrent.  It is parked in ``leases`` so a
+                # budget-stopped step's partial spend still reaches its
+                # report.
+                def run_with_lease() -> Any:
+                    lease = budget.lease(allocation)
+                    leases[step.name] = lease
+                    return spec_runner(step, inputs, lease)
 
-            # The lease is taken when the step *starts*, not when the wave is
-            # built, and the engine charges the step's calls through it — so
-            # it measures exactly this step's spending, sequential or
-            # concurrent.  It is parked in ``leases`` so a budget-stopped
-            # step's partial spend still reaches its report.
-            def run_with_lease() -> Any:
-                lease = budget.lease(allocation)
-                leases[step.name] = lease
-                return spec_runner(step, inputs, lease)
+                inner = run_with_lease
+        else:
+            assert step.run is not None
+            if budget is not session.budget:
+                # A workflow-level budget_dollars cap: route even a callable
+                # step's raw session calls through the cap's lease, or they
+                # would silently bypass it.
+                scoped = BudgetScopedSession(session, budget)
+                inner = lambda: step.run(scoped, inputs)  # noqa: E731
+            else:
+                inner = lambda: step.run(session, inputs)  # noqa: E731
 
-            return run_with_lease
-        assert step.run is not None
-        if budget is not session.budget:
-            # A workflow-level budget_dollars cap: route even a callable
-            # step's raw session calls through the cap's lease, or they
-            # would silently bypass it.
-            scoped = BudgetScopedSession(session, budget)
-            return lambda: step.run(scoped, inputs)
-        return lambda: step.run(session, inputs)
+        tracker = state.spans
+        if tracker is None or not getattr(tracker, "enabled", False):
+            return inner
+
+        # The step span opens in the worker that actually runs the thunk
+        # (its ambient parent is the wave span copied at submission), and
+        # its id is parked on the state so _absorb_outcomes can stamp it
+        # onto the StepReport — the thunk may run on any thread.
+        def traced() -> Any:
+            with tracker.span(
+                "step", step.name, depends_on=list(step.depends_on)
+            ) as span:
+                if span is not None:
+                    state.step_spans[step.name] = span.span_id
+                return inner()
+
+        return traced
 
     @staticmethod
     def _apportion(
@@ -704,3 +803,9 @@ class _ExecutionState:
     pending: list[str]
     usage_before: Any
     cost_before: float
+    #: The session's SpanTracker / SessionInstruments (None for bare
+    #: session-like objects without the observability surface).
+    spans: Any = None
+    instruments: Any = None
+    #: step name -> step span id, filled by the traced thunks as they run.
+    step_spans: dict[str, int] = field(default_factory=dict)

@@ -1,0 +1,26 @@
+"""Operational observability: span tracing, metrics, and timeline analysis.
+
+Distinct from :mod:`repro.metrics`, which holds *evaluation* metrics
+(accuracy, clustering quality, ranking agreement); this package is about
+where wall-clock and capacity go at run time.
+"""
+
+from repro.obs.instruments import SessionInstruments
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanTracker, current_span_id
+from repro.obs.timeline import CriticalPath, critical_path, render_timeline, summarize_path
+
+__all__ = [
+    "Counter",
+    "CriticalPath",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SessionInstruments",
+    "Span",
+    "SpanTracker",
+    "critical_path",
+    "current_span_id",
+    "render_timeline",
+    "summarize_path",
+]

@@ -18,6 +18,11 @@ POST      ``/v1/pipelines/quote``        price a pipeline without running it
 GET       ``/v1/jobs/{id}``              the job's status, settled steps, report
 GET       ``/v1/jobs/{id}/events``       SSE stream of lifecycle + step events
 GET       ``/v1/tenants/{id}/usage``     the tenant's spend / governor / traces
+GET       ``/metrics``                   Prometheus text exposition of every
+                                         tenant's operational series
+                                         (unauthenticated: scrapers carry no
+                                         tenant key, and the exposition holds
+                                         counts, never payloads)
 ========  =============================  ==========================================
 
 Tenancy rules: a job is visible only to the tenant that submitted it (other
@@ -46,6 +51,9 @@ _JSON_HEADERS = [(b"content-type", b"application/json")]
 _SSE_HEADERS = [
     (b"content-type", b"text/event-stream"),
     (b"cache-control", b"no-cache"),
+]
+_METRICS_HEADERS = [
+    (b"content-type", b"text/plain; version=0.0.4; charset=utf-8"),
 ]
 
 
@@ -119,6 +127,13 @@ class ServiceApp:
             name.decode("latin-1").lower(): value.decode("latin-1")
             for name, value in scope.get("headers", [])
         }
+        # Prometheus scrapers carry no tenant credential; the exposition
+        # is operational (counts and durations, no payloads), so /metrics
+        # is matched before authentication.
+        if method == "GET" and path == "/metrics":
+            await self._metrics(send)
+            return
+
         tenant = self.registry.authenticate(headers.get("x-api-key"))
         if tenant is None:
             await _respond(
@@ -224,6 +239,18 @@ class ServiceApp:
         snapshot = tenant.usage_snapshot()
         snapshot["jobs"] = {"active": self.jobs.active_count(tenant.tenant_id)}
         await _respond(send, 200, snapshot)
+
+    async def _metrics(self, send: Send) -> None:
+        """Prometheus text exposition of the shared metrics registry."""
+        body = self.registry.metrics.render().encode("utf-8")
+        await send(
+            {
+                "type": "http.response.start",
+                "status": 200,
+                "headers": _METRICS_HEADERS,
+            }
+        )
+        await send({"type": "http.response.body", "body": body, "more_body": False})
 
     async def _parse_pipeline(self, receive: Receive, send: Send):
         body = await _read_body(receive)

@@ -111,6 +111,7 @@ class JobManager:
         live = _LiveJob(record=record)
         self._jobs[record.job_id] = live
         self._persist(record)
+        self._note_transition(tenant, "queued")
         self._notify(live, {"event": "status", "status": record.status})
         task = asyncio.get_running_loop().create_task(
             self._run(live, tenant, pipeline, quote), name=f"job-{record.job_id}"
@@ -128,10 +129,14 @@ class JobManager:
         quote: PipelineQuote | None,
     ) -> None:
         record = live.record
+        started = False
         try:
             async with self._slots:
                 record.status = "running"
                 self._persist(record)
+                self._note_transition(tenant, "running")
+                self._note_active(tenant, +1)
+                started = True
                 self._notify(live, {"event": "status", "status": "running"})
                 loop = asyncio.get_running_loop()
 
@@ -175,13 +180,36 @@ class JobManager:
             record.resumable = True
             record.error = "service stopped mid-run; checkpoints preserved"
             self._persist(record)
+            self._settle(tenant, record.status, started)
             self._finish(live)
             raise
         except Exception as exc:  # noqa: BLE001 - the job row carries the error
             record.status = "failed"
             record.error = f"{type(exc).__name__}: {exc}"
         self._persist(record)
+        self._settle(tenant, record.status, started)
         self._finish(live)
+
+    def _note_transition(self, tenant: "Tenant", status: str) -> None:
+        """Count a lifecycle transition in the tenant's metrics (best effort)."""
+        instruments = getattr(tenant.session, "instruments", None)
+        if instruments is not None:
+            instruments.note_job(status)
+
+    def _note_active(self, tenant: "Tenant", delta: int) -> None:
+        instruments = getattr(tenant.session, "instruments", None)
+        if instruments is None:
+            return
+        if delta > 0:
+            instruments.note_job_started()
+        else:
+            instruments.note_job_finished()
+
+    def _settle(self, tenant: "Tenant", status: str, started: bool) -> None:
+        """Record a job's terminal transition and release the active gauge."""
+        self._note_transition(tenant, status)
+        if started:
+            self._note_active(tenant, -1)
 
     def _note_step(self, live: _LiveJob, step: dict[str, Any]) -> None:
         live.record.steps[str(step.get("name"))] = step
@@ -196,15 +224,7 @@ class JobManager:
 
     def _finish(self, live: _LiveJob) -> None:
         live.done = True
-        self._notify(
-            live,
-            {
-                "event": "done",
-                "status": live.record.status,
-                "resumable": live.record.resumable,
-                "error": live.record.error,
-            },
-        )
+        self._notify(live, _done_event(live.record))
 
     def _persist(self, record: JobRecord) -> None:
         if self.store is None:
@@ -247,12 +267,7 @@ class JobManager:
                 return
             for step in record.steps.values():
                 yield {"event": "step", "step": step}
-            yield {
-                "event": "done",
-                "status": record.status,
-                "resumable": record.resumable,
-                "error": record.error,
-            }
+            yield _done_event(record)
             return
         index = 0
         while True:
@@ -324,6 +339,24 @@ class JobManager:
                 task.cancel()
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+
+
+def _done_event(record: JobRecord) -> dict[str, Any]:
+    """The terminal SSE event, with the run's root span as correlation id.
+
+    ``span_id`` lets a client join the job's outcome against the persisted
+    ``spans`` table (and any step events it collected, which carry their
+    own ``span_id``); ``notes`` surfaces the report's operational warnings.
+    """
+    report = record.report or {}
+    return {
+        "event": "done",
+        "status": record.status,
+        "resumable": record.resumable,
+        "error": record.error,
+        "span_id": report.get("span_id"),
+        "notes": list(report.get("notes", ())),
+    }
 
 
 __all__ = ["JobManager"]

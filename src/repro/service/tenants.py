@@ -30,6 +30,7 @@ from repro.core.governor import ConcurrencyGovernor
 from repro.core.session import PromptSession
 from repro.exceptions import ConfigurationError
 from repro.llm.base import LLMClient
+from repro.obs import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.llm.registry import ModelRegistry
@@ -82,6 +83,7 @@ class Tenant:
         client: LLMClient,
         store: "Store | None",
         registry: "ModelRegistry | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config
         governor: ConcurrencyGovernor | None = None
@@ -102,6 +104,8 @@ class Tenant:
             max_concurrency=config.max_concurrency,
             governor=governor,
             store=namespaced,
+            metrics=metrics,
+            tenant_label=config.tenant_id,
         )
         self.engine = DeclarativeEngine.from_session(
             self.session, default_model=config.default_model
@@ -160,10 +164,14 @@ class TenantRegistry:
         *,
         store: "Store | None" = None,
         registry: "ModelRegistry | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._client = client
         self._store = store
         self._registry = registry
+        #: One registry across every tenant: series are kept apart by the
+        #: ``tenant`` label, and ``GET /metrics`` renders them all at once.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._configs: dict[str, TenantConfig] = {}
         self._by_key: dict[str, str] = {}
         for config in configs:
@@ -205,6 +213,7 @@ class TenantRegistry:
                     client=self._client,
                     store=self._store,
                     registry=self._registry,
+                    metrics=self.metrics,
                 )
                 self._tenants[tenant_id] = tenant
             return tenant

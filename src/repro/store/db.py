@@ -44,7 +44,7 @@ APPLICATION_ID = 0x5250_5253  # spells "RPRS"
 
 #: Bump whenever the table layout changes.  Older stores are rebuilt (their
 #: contents are all derived data); newer stores are refused.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -93,9 +93,23 @@ CREATE TABLE IF NOT EXISTS traces (
     parse_ok INTEGER,
     error TEXT,
     finish_reason TEXT,
-    confidence REAL
+    confidence REAL,
+    span_id INTEGER
 );
 CREATE INDEX IF NOT EXISTS traces_origin ON traces (origin, call_id);
+CREATE TABLE IF NOT EXISTS spans (
+    row_id TEXT PRIMARY KEY,
+    origin TEXT NOT NULL,
+    span_id INTEGER NOT NULL,
+    parent_id INTEGER,
+    kind TEXT NOT NULL,
+    label TEXT NOT NULL,
+    start_time REAL NOT NULL,
+    end_time REAL,
+    status TEXT NOT NULL,
+    attributes TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS spans_origin ON spans (origin, span_id);
 CREATE TABLE IF NOT EXISTS jobs (
     job_id TEXT PRIMARY KEY,
     tenant TEXT NOT NULL,
@@ -134,6 +148,7 @@ _TABLES = (
     "profiles",
     "checkpoints",
     "traces",
+    "spans",
     "jobs",
     "embeddings",
     "vector_indexes",

@@ -37,6 +37,7 @@ from repro.store.response_cache import PersistentResponseCache
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.physical import RuntimeStats
     from repro.core.spec import TaskSpec
+    from repro.obs.spans import Span
     from repro.operators.base import OperatorResult
     from repro.store.store import Store
     from repro.trace import TraceRecord
@@ -132,6 +133,14 @@ class StoreNamespace:
 
     def trace_records(self, *, origin: str | None = None) -> "list[TraceRecord]":
         return self.store.trace_records(
+            origin=None if origin is None else self._scoped(origin)
+        )
+
+    def save_spans(self, spans: "list[Span]", *, origin: str) -> None:
+        self.store.save_spans(spans, origin=self._scoped(origin))
+
+    def load_spans(self, *, origin: str | None = None) -> "list[Span]":
+        return self.store.load_spans(
             origin=None if origin is None else self._scoped(origin)
         )
 

@@ -23,10 +23,12 @@ corruption/versioning rules), so "make this deployment durable" is a single
 
 from __future__ import annotations
 
+import json
 import os
 from typing import TYPE_CHECKING, Any
 
 from repro.core.spec import TaskSpec
+from repro.obs.spans import Span
 from repro.operators.base import OperatorResult
 from repro.store.checkpoint import decode_result, encode_result
 from repro.store.db import StoreDB
@@ -57,6 +59,7 @@ class Store:
         max_cache_bytes: optional LRU byte cap of the response cache.
         max_checkpoints: LRU cap on retained step checkpoints.
         max_trace_records: FIFO cap on retained call-trace rows.
+        max_span_records: FIFO cap on retained span rows.
     """
 
     def __init__(
@@ -67,17 +70,21 @@ class Store:
         max_cache_bytes: int | None = None,
         max_checkpoints: int = 10_000,
         max_trace_records: int = 50_000,
+        max_span_records: int = 50_000,
         max_embedding_entries: int = 500_000,
     ) -> None:
         if max_checkpoints <= 0:
             raise ValueError("max_checkpoints must be positive")
         if max_trace_records <= 0:
             raise ValueError("max_trace_records must be positive")
+        if max_span_records <= 0:
+            raise ValueError("max_span_records must be positive")
         if max_embedding_entries <= 0:
             raise ValueError("max_embedding_entries must be positive")
         self.db = StoreDB(path)
         self.max_checkpoints = max_checkpoints
         self.max_trace_records = max_trace_records
+        self.max_span_records = max_span_records
         self.max_cache_entries = max_cache_entries
         self.max_cache_bytes = max_cache_bytes
         self.max_embedding_entries = max_embedding_entries
@@ -333,8 +340,8 @@ class Store:
                 "(trace_id, origin, call_id, step, operator, model, temperature, "
                 "prompt, response, prompt_tokens, completion_tokens, cost, "
                 "duration_ms, cache_hit, attempt, parse_ok, error, "
-                "finish_reason, confidence) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "finish_reason, confidence, span_id) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     f"{origin}:{record.call_id}",
                     origin,
@@ -355,6 +362,7 @@ class Store:
                     record.error,
                     record.finish_reason,
                     record.confidence,
+                    record.span_id,
                 ),
             )
             for record in records
@@ -367,8 +375,8 @@ class Store:
         sql = (
             "SELECT call_id, step, operator, model, temperature, prompt, "
             "response, prompt_tokens, completion_tokens, cost, duration_ms, "
-            "cache_hit, attempt, parse_ok, error, finish_reason, confidence "
-            "FROM traces"
+            "cache_hit, attempt, parse_ok, error, finish_reason, confidence, "
+            "span_id FROM traces"
         )
         parameters: tuple = ()
         if origin is not None:
@@ -394,6 +402,7 @@ class Store:
                 error=row[14],
                 finish_reason=row[15],
                 confidence=float(row[16]),
+                span_id=None if row[17] is None else int(row[17]),
             )
             for row in self.db.execute(sql, parameters)
         ]
@@ -411,6 +420,83 @@ class Store:
             self.db.execute(
                 "DELETE FROM traces WHERE rowid IN "
                 "(SELECT rowid FROM traces ORDER BY rowid ASC LIMIT ?)",
+                (over,),
+            )
+
+    # -- spans --------------------------------------------------------------------
+
+    def save_spans(self, spans: list[Span], *, origin: str) -> None:
+        """Upsert a tracker's spans atomically, keyed by ``origin:span_id``.
+
+        The tracker re-sends spans whose status or attributes changed
+        after the first flush (a span closes, an observer error is
+        annotated), so rows are replaced, not duplicated.  Oldest rows
+        beyond ``max_span_records`` are evicted FIFO.
+        """
+        if not spans:
+            return
+        statements: list[tuple[str, tuple]] = [
+            (
+                "INSERT OR REPLACE INTO spans "
+                "(row_id, origin, span_id, parent_id, kind, label, "
+                "start_time, end_time, status, attributes) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    f"{origin}:{span.span_id}",
+                    origin,
+                    span.span_id,
+                    span.parent_id,
+                    span.kind,
+                    span.label,
+                    span.start,
+                    span.end,
+                    span.status,
+                    json.dumps(span.attributes, sort_keys=True),
+                ),
+            )
+            for span in spans
+        ]
+        self.db.transaction(statements)
+        self._evict_spans()
+
+    def load_spans(self, *, origin: str | None = None) -> list[Span]:
+        """Stored spans (optionally one tracker's), in creation order."""
+        sql = (
+            "SELECT span_id, parent_id, kind, label, start_time, end_time, "
+            "status, attributes FROM spans"
+        )
+        parameters: tuple = ()
+        if origin is not None:
+            sql += " WHERE origin = ?"
+            parameters = (origin,)
+        sql += " ORDER BY origin, span_id"
+        return [
+            Span(
+                span_id=int(row[0]),
+                parent_id=None if row[1] is None else int(row[1]),
+                kind=row[2],
+                label=row[3],
+                start=float(row[4]),
+                end=None if row[5] is None else float(row[5]),
+                status=row[6],
+                attributes=json.loads(row[7]),
+            )
+            for row in self.db.execute(sql, parameters)
+        ]
+
+    def span_count(self) -> int:
+        return int(self.db.execute("SELECT COUNT(*) FROM spans")[0][0])
+
+    def clear_spans(self) -> None:
+        self.db.execute("DELETE FROM spans")
+
+    def _evict_spans(self) -> None:
+        rows = self.db.execute("SELECT COUNT(*) FROM spans")
+        over = max(0, int(rows[0][0]) - self.max_span_records)
+        if over:
+            self.db.execute(
+                "DELETE FROM spans WHERE rowid IN "
+                "(SELECT rowid FROM spans ORDER BY rowid ASC LIMIT ?)",
                 (over,),
             )
 
@@ -495,6 +581,7 @@ class Store:
             "profiles": sorted(profiles),
             "checkpoints": self.checkpoint_count(),
             "traces": self.trace_count(),
+            "spans": self.span_count(),
             "jobs": self.job_count(),
             "embeddings": self.embedding_count(),
             "vector_indexes": self.vector_index_count(),

@@ -111,6 +111,8 @@ class TraceRecord:
             taxonomy, normally) when the call raised; ``None`` on success.
         finish_reason / confidence: carried from the response for replay
             fidelity (confidence drives ensemble voting).
+        span_id: id of the call's span in the session's span tree, linking
+            the flat trace log into the pipeline→wave→step hierarchy.
     """
 
     call_id: int
@@ -130,6 +132,7 @@ class TraceRecord:
     error: str | None = None
     finish_reason: str = "stop"
     confidence: float = 1.0
+    span_id: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """A plain-dict view (JSON-shaped; what the store persists)."""
@@ -150,6 +153,10 @@ class Tracer:
             flushed into its ``traces`` table best-effort (failures are
             swallowed — tracing must never sink the traced call).
         flush_every: how many unflushed records trigger an automatic flush.
+        on_drop: optional callback invoked with the eviction count each time
+            the ring evicts records (the session wires this to the
+            ``trace_records_dropped_total`` counter); called outside the
+            tracer lock, and its failures are swallowed.
     """
 
     def __init__(
@@ -158,6 +165,7 @@ class Tracer:
         capacity: int = DEFAULT_CAPACITY,
         store: "Store | None" = None,
         flush_every: int = DEFAULT_FLUSH_EVERY,
+        on_drop: Any | None = None,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError("capacity must be positive")
@@ -166,6 +174,7 @@ class Tracer:
         self.capacity = capacity
         self.store = store
         self.flush_every = flush_every
+        self.on_drop = on_drop
         #: Distinguishes this tracer's rows from other sessions sharing the
         #: same store file.
         self.origin = uuid4().hex
@@ -188,11 +197,18 @@ class Tracer:
             record = TraceRecord(call_id=call_id, **traced)
             self._records[call_id] = record
             self._dirty.add(call_id)
+            evictions = 0
             while len(self._records) > self.capacity:
                 evicted_id, _ = self._records.popitem(last=False)
                 self._dirty.discard(evicted_id)
                 self._dropped += 1
+                evictions += 1
             should_flush = len(self._dirty) >= self.flush_every
+        if evictions and self.on_drop is not None:
+            try:
+                self.on_drop(evictions)
+            except Exception:
+                pass
         if should_flush:
             self.flush()
         return record
